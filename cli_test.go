@@ -1,0 +1,73 @@
+package wcoring
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline exercises the command-line tools end to end:
+// generate a graph, build an index, query it. Skipped if the Go tool
+// cannot run subprocesses in this environment.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline is slow")
+	}
+	dir := t.TempDir()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not found")
+	}
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(goBin, append([]string{"run"}, args...)...)
+		cmd.Dir = mustModuleRoot(t)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("go run %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	graphPath := filepath.Join(dir, "graph.tsv")
+	indexPath := filepath.Join(dir, "graph.ring")
+
+	out := run("./cmd/wgpbgen", "-n", "5000", "-out", graphPath, "-seed", "3")
+	if !strings.Contains(out, "generated") {
+		t.Fatalf("wgpbgen output: %s", out)
+	}
+	if _, err := os.Stat(graphPath); err != nil {
+		t.Fatalf("graph file missing: %v", err)
+	}
+
+	out = run("./cmd/ringbuild", "-in", graphPath, "-out", indexPath)
+	if !strings.Contains(out, "indexed") {
+		t.Fatalf("ringbuild output: %s", out)
+	}
+
+	out = run("./cmd/ringquery", "-index", indexPath, "-query", "?x ?p ?y", "-limit", "5")
+	if !strings.Contains(out, "5 solutions") {
+		t.Fatalf("ringquery output: %s", out)
+	}
+
+	// A compressed build must also round-trip.
+	out = run("./cmd/ringbuild", "-in", graphPath, "-out", indexPath+".c", "-compress", "-b", "16")
+	if !strings.Contains(out, "indexed") {
+		t.Fatalf("compressed ringbuild output: %s", out)
+	}
+	out = run("./cmd/ringquery", "-index", indexPath+".c", "-query", "?x ?p ?y", "-limit", "3")
+	if !strings.Contains(out, "3 solutions") {
+		t.Fatalf("compressed ringquery output: %s", out)
+	}
+}
+
+func mustModuleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}

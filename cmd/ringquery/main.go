@@ -1,0 +1,116 @@
+// Command ringquery loads a serialized ring index (built by ringbuild)
+// and evaluates basic graph patterns. A query is given as one or more
+// triple patterns, semicolon-separated; components starting with '?' are
+// variables:
+//
+//	ringquery -index graph.ring -query '?x winner ?y ; ?x nominee ?z ; ?z advisor ?y'
+//
+// Without -query, patterns are read from stdin, one query per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	wcoring "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ringquery: ")
+
+	index := flag.String("index", "", "index file built by ringbuild")
+	query := flag.String("query", "", "query: 's p o' patterns, ';'-separated, '?x' variables")
+	limit := flag.Int("limit", 1000, "max solutions (0 = unlimited)")
+	timeout := flag.Duration("timeout", 10*time.Minute, "evaluation timeout (0 = none)")
+	flag.Parse()
+	if *index == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*index)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := wcoring.ReadStore(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded index: %d triples, %.2f bytes/triple\n",
+		store.Len(), float64(store.SizeBytes())/float64(store.Len()))
+
+	opt := wcoring.QueryOptions{Limit: *limit, Timeout: *timeout}
+	if *query != "" {
+		runQuery(store, *query, opt)
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		runQuery(store, line, opt)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runQuery(store *wcoring.Store, raw string, opt wcoring.QueryOptions) {
+	patterns, err := parseQuery(raw)
+	if err != nil {
+		log.Printf("bad query %q: %v", raw, err)
+		return
+	}
+	start := time.Now()
+	sols, err := store.Query(patterns, opt)
+	elapsed := time.Since(start)
+	if err != nil && err != wcoring.ErrTimeout {
+		log.Printf("query failed: %v", err)
+		return
+	}
+	status := ""
+	if err == wcoring.ErrTimeout {
+		status = " (timed out)"
+	}
+	fmt.Printf("%d solutions in %v%s\n", len(sols), elapsed.Round(time.Microsecond), status)
+	for _, sol := range sols {
+		keys := make([]string, 0, len(sol))
+		for k := range sol {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("?%s=%s", k, sol[k])
+		}
+		fmt.Println("  " + strings.Join(parts, " "))
+	}
+}
+
+func parseQuery(raw string) ([]wcoring.PatternString, error) {
+	var out []wcoring.PatternString
+	for _, part := range strings.Split(raw, ";") {
+		fields := strings.Fields(part)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("pattern %q: want 3 components, got %d", part, len(fields))
+		}
+		out = append(out, wcoring.PatternString{S: fields[0], P: fields[1], O: fields[2]})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty query")
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+// Command wgpbgen generates the synthetic benchmark inputs standing in
+// for the paper's Wikidata data: a labelled graph with Wikidata-like skew
+// (as a triple TSV usable by ringbuild) and, optionally, WGPB-style query
+// sets instantiated by random walks (one file per shape, queries in the
+// ringquery syntax).
+//
+// Usage:
+//
+//	wgpbgen -n 1000000 -out graph.tsv [-queries qdir -pershape 50] [-seed 1]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/wgpb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wgpbgen: ")
+
+	n := flag.Int("n", 1_000_000, "number of triples")
+	nodes := flag.Int("nodes", 0, "node domain size (0 = 2n/3)")
+	preds := flag.Int("preds", 0, "predicate count (0 = n/40000, min 16)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "output triple file")
+	queriesDir := flag.String("queries", "", "also write WGPB query files into this directory")
+	perShape := flag.Int("pershape", 50, "queries per shape (the benchmark uses 50)")
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := wgpb.DefaultGraphConfig(*n)
+	cfg.Seed = *seed
+	if *nodes > 0 {
+		cfg.Nodes = *nodes
+	}
+	if *preds > 0 {
+		cfg.Predicates = *preds
+	}
+	g := wgpb.Generate(cfg)
+	fmt.Printf("generated %d distinct triples, %d nodes, %d predicates\n",
+		g.Len(), g.NumSO(), g.NumP())
+
+	if err := writeGraph(g, *out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *queriesDir == "" {
+		return
+	}
+	if err := os.MkdirAll(*queriesDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	w := wgpb.NewWorkload(g, *seed+1)
+	for i := range wgpb.Shapes {
+		s := &wgpb.Shapes[i]
+		qs := w.Queries(s, *perShape)
+		path := filepath.Join(*queriesDir, s.Name+".txt")
+		if err := writeQueries(qs, path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d %s queries to %s\n", len(qs), s.Name, path)
+	}
+}
+
+// writeGraph emits "e<s> p<p> e<o>" lines: the string forms ringbuild's
+// dictionary will re-encode.
+func writeGraph(g *graph.Graph, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	for _, t := range g.Triples() {
+		fmt.Fprintf(bw, "e%d p%d e%d\n", t.S, t.P, t.O)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeQueries emits one query per line in ringquery syntax.
+func writeQueries(qs []graph.Pattern, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	for _, q := range qs {
+		parts := make([]string, len(q))
+		for i, tp := range q {
+			parts[i] = fmt.Sprintf("%s p%d %s", termStr(tp.S), tp.P.Value, termStr(tp.O))
+		}
+		fmt.Fprintln(bw, strings.Join(parts, " ; "))
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func termStr(t graph.Term) string {
+	if t.IsVar {
+		return "?" + t.Name
+	}
+	return fmt.Sprintf("e%d", t.Value)
+}

@@ -1,0 +1,92 @@
+package wcoring_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	wcoring "repro"
+)
+
+func newExampleStore() *wcoring.Store {
+	store, err := wcoring.NewStore([]wcoring.StringTriple{
+		{S: "Bohr", P: "adv", O: "Thomson"},
+		{S: "Thomson", P: "adv", O: "Strutt"},
+		{S: "Wheeler", P: "adv", O: "Bohr"},
+		{S: "Thorne", P: "adv", O: "Wheeler"},
+		{S: "Nobel", P: "nom", O: "Bohr"},
+		{S: "Nobel", P: "nom", O: "Thomson"},
+		{S: "Nobel", P: "nom", O: "Thorne"},
+		{S: "Nobel", P: "nom", O: "Wheeler"},
+		{S: "Nobel", P: "nom", O: "Strutt"},
+		{S: "Nobel", P: "win", O: "Bohr"},
+		{S: "Nobel", P: "win", O: "Thomson"},
+		{S: "Nobel", P: "win", O: "Thorne"},
+		{S: "Nobel", P: "win", O: "Strutt"},
+	}, wcoring.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return store
+}
+
+// The paper's Figure 4 query: prize winners advised by nominees.
+func ExampleStore_Query() {
+	store := newExampleStore()
+	sols, err := store.Query([]wcoring.PatternString{
+		{S: "?x", P: "win", O: "?y"},
+		{S: "?x", P: "nom", O: "?z"},
+		{S: "?z", P: "adv", O: "?y"},
+	}, wcoring.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rows []string
+	for _, s := range sols {
+		rows = append(rows, fmt.Sprintf("%s won; advised by %s", s["y"], s["z"]))
+	}
+	sort.Strings(rows)
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	// Output:
+	// Bohr won; advised by Wheeler
+	// Strutt won; advised by Thomson
+	// Thomson won; advised by Bohr
+}
+
+// Regular path queries follow SPARQL property-path syntax.
+func ExampleStore_Reach() {
+	store := newExampleStore()
+	descendants, err := store.Reach("Thorne", "adv+")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(descendants)
+	// Output:
+	// [Bohr Strutt Thomson Wheeler]
+}
+
+// Select layers projection, DISTINCT and ordering over the wco join.
+func ExampleStore_Select() {
+	store := newExampleStore()
+	sols, err := store.Select([]wcoring.PatternString{
+		{S: "Nobel", P: "?how", O: "?who"},
+	}, wcoring.SelectOptions{
+		Project:  []string{"who"},
+		Distinct: true,
+		OrderBy:  []string{"who"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range sols {
+		fmt.Println(s["who"])
+	}
+	// Output:
+	// Bohr
+	// Strutt
+	// Thomson
+	// Thorne
+	// Wheeler
+}

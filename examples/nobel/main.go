@@ -1,0 +1,92 @@
+// Nobel reproduces the paper's running example end to end: the graph of
+// Figure 3 (Nobel winners, nominees and advisors), the ring construction
+// of Figure 6 (printing the three BWT zones so they can be compared with
+// the paper), and the basic graph pattern of Figure 4 evaluated with
+// worst-case-optimal LTJ.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	wcoring "repro"
+	"repro/internal/graph"
+	"repro/internal/ring"
+	"repro/internal/testutil"
+)
+
+func main() {
+	store, err := wcoring.NewStore([]wcoring.StringTriple{
+		{S: "Bohr", P: "adv", O: "Thomson"},
+		{S: "Thomson", P: "adv", O: "Strutt"},
+		{S: "Wheeler", P: "adv", O: "Bohr"},
+		{S: "Thorne", P: "adv", O: "Wheeler"},
+		{S: "Nobel", P: "nom", O: "Bohr"},
+		{S: "Nobel", P: "nom", O: "Thomson"},
+		{S: "Nobel", P: "nom", O: "Thorne"},
+		{S: "Nobel", P: "nom", O: "Wheeler"},
+		{S: "Nobel", P: "nom", O: "Strutt"},
+		{S: "Nobel", P: "win", O: "Bohr"},
+		{S: "Nobel", P: "win", O: "Thomson"},
+		{S: "Nobel", P: "win", O: "Thorne"},
+		{S: "Nobel", P: "win", O: "Strutt"},
+	}, wcoring.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the bended BWT zones of Figure 6 (our ids are 0-based and
+	// unshifted; see the paper's Section 4.1 for the split representation).
+	g := testutil.PaperGraph()
+	r := ring.New(g, ring.Options{})
+	fmt.Println("Bended BWT of the Nobel graph (split representation, Figure 6):")
+	for _, z := range []ring.Zone{ring.ZoneSPO, ring.ZonePOS, ring.ZoneOSP} {
+		col := r.Column(z)
+		fmt.Printf("  zone %-3s stores %d symbols:", z, col.Len())
+		for i := 0; i < col.Len(); i++ {
+			fmt.Printf(" %d", col.Access(i))
+		}
+		fmt.Println()
+	}
+	// Demonstrate Theorem 3.4: the index reproduces the data via LF-cycles.
+	fmt.Println("\nTriples recovered from the index alone (LF-cycles, Lemma 3.3):")
+	for i := 0; i < 3; i++ {
+		t := r.Triple(i)
+		fmt.Printf("  triple %d: (%d, %d, %d)\n", i, t.S, t.P, t.O)
+	}
+	all := r.Triples()
+	ok := len(all) == g.Len()
+	for i, t := range g.Triples() {
+		ok = ok && all[i] == t
+	}
+	fmt.Printf("  all %d triples match the input: %v\n\n", len(all), ok)
+
+	// The Figure 4 query: winners y advised by nominees z.
+	fmt.Println("Figure 4 query: ?x win ?y . ?x nom ?z . ?z adv ?y")
+	sols, err := store.Query([]wcoring.PatternString{
+		{S: "?x", P: "win", O: "?y"},
+		{S: "?x", P: "nom", O: "?z"},
+		{S: "?z", P: "adv", O: "?y"},
+	}, wcoring.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range sols {
+		fmt.Printf("  x=%s  y=%s  z=%s\n", s["x"], s["y"], s["z"])
+	}
+
+	// The same query at the identifier level with an explicit variable
+	// order, as Algorithm 1 presents it.
+	fmt.Println("\nSame query at the ID level, explicit order (x, y, z):")
+	ids, err := wcoring.Evaluate(r, graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Const(2), graph.Var("y")),
+		graph.TP(graph.Var("x"), graph.Const(1), graph.Var("z")),
+		graph.TP(graph.Var("z"), graph.Const(0), graph.Var("y")),
+	}, wcoring.QueryOptions{Order: []string{"x", "y", "z"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range ids {
+		fmt.Printf("  x=%d y=%d z=%d\n", b["x"], b["y"], b["z"])
+	}
+}

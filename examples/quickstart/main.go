@@ -1,0 +1,60 @@
+// Quickstart: build a ring-indexed store from string triples and run a
+// worst-case-optimal join, end to end, through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	wcoring "repro"
+)
+
+func main() {
+	// A small knowledge graph: who follows whom, and where people live.
+	store, err := wcoring.NewStore([]wcoring.StringTriple{
+		{S: "alice", P: "follows", O: "bob"},
+		{S: "bob", P: "follows", O: "carol"},
+		{S: "alice", P: "follows", O: "carol"},
+		{S: "carol", P: "follows", O: "dave"},
+		{S: "alice", P: "livesIn", O: "paris"},
+		{S: "bob", P: "livesIn", O: "paris"},
+		{S: "carol", P: "livesIn", O: "tokyo"},
+	}, wcoring.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d triples in %.2f bytes/triple (the ring replaces the data)\n\n",
+		store.Len(), float64(store.SizeBytes())/float64(store.Len()))
+
+	// Triangle-ish join: pairs of mutual acquaintances of a common friend
+	// who live in the same city. Strings starting with '?' are variables.
+	queries := []struct {
+		name string
+		q    []wcoring.PatternString
+	}{
+		{"followers of carol", []wcoring.PatternString{
+			{S: "?who", P: "follows", O: "carol"},
+		}},
+		{"friend triangles", []wcoring.PatternString{
+			{S: "?a", P: "follows", O: "?b"},
+			{S: "?b", P: "follows", O: "?c"},
+			{S: "?a", P: "follows", O: "?c"},
+		}},
+		{"co-located follows", []wcoring.PatternString{
+			{S: "?a", P: "follows", O: "?b"},
+			{S: "?a", P: "livesIn", O: "?city"},
+			{S: "?b", P: "livesIn", O: "?city"},
+		}},
+	}
+	for _, qc := range queries {
+		sols, err := store.Query(qc.q, wcoring.QueryOptions{})
+		if err != nil {
+			log.Fatalf("%s: %v", qc.name, err)
+		}
+		fmt.Printf("%s: %d solution(s)\n", qc.name, len(sols))
+		for _, s := range sols {
+			fmt.Printf("  %v\n", s)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,90 @@
+package wcoring
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rpq"
+)
+
+// Fuzz targets double as robustness tests: on every `go test` run they
+// exercise the seed corpus; `go test -fuzz=Fuzz<Name>` explores further.
+// The invariant in each case is "malformed input must error, never
+// panic, and valid input must round-trip".
+
+// FuzzReadStore feeds arbitrary bytes to the store deserializer.
+func FuzzReadStore(f *testing.F) {
+	store, err := NewStore([]StringTriple{
+		{S: "a", P: "p", O: "b"},
+		{S: "b", P: "p", O: "c"},
+	}, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := store.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is definitely not an index"))
+	// A few single-byte corruptions of the valid image.
+	for _, i := range []int{0, 8, 20, len(valid) / 2, len(valid) - 1} {
+		c := append([]byte(nil), valid...)
+		c[i] ^= 0x5A
+		f.Add(c)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadStore(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine
+		}
+		// Accepted input must yield a usable store.
+		if s.Len() < 0 {
+			t.Fatal("negative length")
+		}
+		_, _ = s.Query([]PatternString{{S: "?x", P: "?p", O: "?y"}}, QueryOptions{Limit: 5})
+	})
+}
+
+// FuzzParseTSV feeds arbitrary text to the triple parser.
+func FuzzParseTSV(f *testing.F) {
+	f.Add("a b c\n")
+	f.Add("a b\n")
+	f.Add("# comment\n\n x\ty\tz ")
+	f.Fuzz(func(t *testing.T, data string) {
+		ts, err := ParseTSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, tr := range ts {
+			if tr.S == "" || tr.P == "" || tr.O == "" {
+				t.Fatalf("parser returned empty component: %+v", tr)
+			}
+		}
+	})
+}
+
+// FuzzParsePath feeds arbitrary expressions to the property-path parser.
+func FuzzParsePath(f *testing.F) {
+	f.Add("a/b|c*")
+	f.Add("^(a|b)+/c?")
+	f.Add("((((")
+	f.Add("a//b")
+	f.Add("^")
+	resolve := func(name string) (ID, bool) { return ID(len(name)), true }
+	f.Fuzz(func(t *testing.T, expr string) {
+		e, err := rpq.ParsePath(expr, resolve)
+		if err != nil {
+			return
+		}
+		// A parsed expression must compile into a well-formed NFA.
+		a := rpq.Compile(e)
+		if a.States() < 2 {
+			t.Fatalf("parsed %q into a %d-state NFA", expr, a.States())
+		}
+	})
+}

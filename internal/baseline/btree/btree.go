@@ -1,0 +1,183 @@
+// Package btree provides a from-scratch static B+-tree over triples and,
+// on top of it, the repository's Jena TDB analogue: three clustered
+// B+-tree orders (spo, pos, osp) queried with index-nested-loop joins —
+// the classic non-worst-case-optimal graph store the paper compares
+// against. The sibling package btreeltj reuses the same trees in all six
+// orders to reproduce the paper's "Jena LTJ" configuration.
+package btree
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Key is a triple's coordinates in the tree's level order.
+type Key [3]graph.ID
+
+// Less compares keys lexicographically.
+func (k Key) Less(o Key) bool {
+	for i := 0; i < 3; i++ {
+		if k[i] != o[i] {
+			return k[i] < o[i]
+		}
+	}
+	return false
+}
+
+// Fanout is the number of keys per page. With 12-byte keys this gives
+// pages of roughly 1.5 KB plus headers, a small-page configuration of the
+// sort Jena TDB uses in memory-mapped mode.
+const Fanout = 128
+
+// pageHeaderBytes approximates the per-page bookkeeping of a real
+// disk-backed tree (page id, count, sibling pointer).
+const pageHeaderBytes = 24
+
+// Tree is a static (bulk-loaded, read-only) clustered B+-tree: the sorted
+// keys are the leaf level, and each internal level stores the first key of
+// each child page.
+type Tree struct {
+	order [3]graph.Position // level order, e.g. [s,p,o]
+	keys  []Key             // sorted leaf data (clustered)
+	// inner[l][i] is the first key of child i at level l; level 0 is the
+	// level just above the leaves.
+	inner [][]Key
+}
+
+// NewTree bulk-loads the triples into a tree sorted by the given attribute
+// order.
+func NewTree(ts []graph.Triple, order [3]graph.Position) *Tree {
+	t := &Tree{order: order, keys: make([]Key, len(ts))}
+	for i, tr := range ts {
+		t.keys[i] = t.keyOf(tr)
+	}
+	sort.Slice(t.keys, func(i, j int) bool { return t.keys[i].Less(t.keys[j]) })
+	// Build the directory levels bottom-up.
+	cur := len(t.keys)
+	for cur > Fanout {
+		nPages := (cur + Fanout - 1) / Fanout
+		level := make([]Key, nPages)
+		if len(t.inner) == 0 {
+			for i := 0; i < nPages; i++ {
+				level[i] = t.keys[i*Fanout]
+			}
+		} else {
+			prev := t.inner[len(t.inner)-1]
+			for i := 0; i < nPages; i++ {
+				level[i] = prev[i*Fanout]
+			}
+		}
+		t.inner = append(t.inner, level)
+		cur = nPages
+	}
+	return t
+}
+
+func (t *Tree) keyOf(tr graph.Triple) Key {
+	var k Key
+	for i, pos := range t.order {
+		switch pos {
+		case graph.PosS:
+			k[i] = tr.S
+		case graph.PosP:
+			k[i] = tr.P
+		default:
+			k[i] = tr.O
+		}
+	}
+	return k
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return len(t.keys) }
+
+// At returns the i-th key in sorted order.
+func (t *Tree) At(i int) Key { return t.keys[i] }
+
+// Order returns the tree's level order.
+func (t *Tree) Order() [3]graph.Position { return t.order }
+
+// TripleAt decodes the i-th key back into a triple.
+func (t *Tree) TripleAt(i int) graph.Triple {
+	k := t.keys[i]
+	var tr graph.Triple
+	for j, pos := range t.order {
+		switch pos {
+		case graph.PosS:
+			tr.S = k[j]
+		case graph.PosP:
+			tr.P = k[j]
+		default:
+			tr.O = k[j]
+		}
+	}
+	return tr
+}
+
+// LowerBound returns the smallest index i with keys[i] >= k, descending
+// the directory levels and finishing with a binary search inside one page.
+func (t *Tree) LowerBound(k Key) int {
+	// Descend from the top directory level narrowing to a child range.
+	lo, hi := 0, 0 // page range at the current level
+	for l := len(t.inner) - 1; l >= 0; l-- {
+		level := t.inner[l]
+		if l == len(t.inner)-1 {
+			lo, hi = 0, len(level)
+		}
+		// Find the last page whose first key is <= k.
+		i := lo + sort.Search(hi-lo, func(i int) bool { return k.Less(level[lo+i]) })
+		if i > lo {
+			i--
+		}
+		lo, hi = i*Fanout, (i+1)*Fanout
+		if l == 0 {
+			if hi > len(t.keys) {
+				hi = len(t.keys)
+			}
+		} else if hi > len(t.inner[l-1]) {
+			hi = len(t.inner[l-1])
+		}
+	}
+	if len(t.inner) == 0 {
+		lo, hi = 0, len(t.keys)
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool { return !t.keys[lo+i].Less(k) })
+}
+
+// PrefixRange returns [lo, hi) of the keys whose first len(prefix)
+// coordinates equal prefix.
+func (t *Tree) PrefixRange(prefix []graph.ID) (int, int) {
+	var loKey, hiKey Key
+	copy(loKey[:], prefix)
+	for i := len(prefix); i < 3; i++ {
+		loKey[i] = 0
+	}
+	lo := t.LowerBound(loKey)
+	// hiKey: the prefix with its last coordinate incremented.
+	copy(hiKey[:], prefix)
+	for i := len(prefix); i < 3; i++ {
+		hiKey[i] = 0
+	}
+	carry := true
+	for i := len(prefix) - 1; i >= 0 && carry; i-- {
+		hiKey[i]++
+		carry = hiKey[i] == 0
+	}
+	if len(prefix) == 0 || carry {
+		return lo, len(t.keys)
+	}
+	return lo, t.LowerBound(hiKey)
+}
+
+// SizeBytes approximates the in-memory footprint including page headers
+// and the directory, the way a page-based store accounts for them.
+func (t *Tree) SizeBytes() int {
+	leafPages := (len(t.keys) + Fanout - 1) / Fanout
+	total := len(t.keys)*12 + leafPages*pageHeaderBytes
+	for _, level := range t.inner {
+		pages := (len(level) + Fanout - 1) / Fanout
+		total += len(level)*12 + len(level)*8 + pages*pageHeaderBytes // keys + child pointers
+	}
+	return total
+}

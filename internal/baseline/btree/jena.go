@@ -1,0 +1,217 @@
+package btree
+
+import (
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ltj"
+)
+
+// Jena is the Jena TDB analogue: three clustered B+-tree orders — spo,
+// pos, osp — evaluated with index-nested-loop joins. It is deliberately
+// not worst-case optimal: like the system it models, it picks a pattern
+// order by greedy selectivity and, for each partial binding, scans the
+// best matching index range. The ring should beat it clearly on cyclic
+// patterns while using an order of magnitude less space.
+type Jena struct {
+	trees [3]*Tree // spo, pos, osp
+	n     int
+}
+
+// jenaOrders are the three orders Jena TDB maintains.
+var jenaOrders = [3][3]graph.Position{
+	{graph.PosS, graph.PosP, graph.PosO},
+	{graph.PosP, graph.PosO, graph.PosS},
+	{graph.PosO, graph.PosS, graph.PosP},
+}
+
+// NewJena indexes g in the three Jena orders.
+func NewJena(g *graph.Graph) *Jena {
+	j := &Jena{n: g.Len()}
+	for i, o := range jenaOrders {
+		j.trees[i] = NewTree(g.Triples(), o)
+	}
+	return j
+}
+
+// SizeBytes returns the total index footprint.
+func (j *Jena) SizeBytes() int {
+	total := 0
+	for _, t := range j.trees {
+		total += t.SizeBytes()
+	}
+	return total
+}
+
+// bestTree returns the tree with the longest level prefix covered by the
+// bound positions, together with the usable prefix values.
+func (j *Jena) bestTree(bound map[graph.Position]graph.ID) (*Tree, []graph.ID) {
+	bestLen := -1
+	var best *Tree
+	var bestPrefix []graph.ID
+	for _, t := range j.trees {
+		var prefix []graph.ID
+		for _, pos := range t.order {
+			v, ok := bound[pos]
+			if !ok {
+				break
+			}
+			prefix = append(prefix, v)
+		}
+		if len(prefix) > bestLen {
+			bestLen = len(prefix)
+			best = t
+			bestPrefix = prefix
+		}
+	}
+	return best, bestPrefix
+}
+
+// scan visits the triples matching tp under binding b, using the best
+// available index prefix and filtering the rest.
+func (j *Jena) scan(tp graph.TriplePattern, b graph.Binding, visit func(graph.Triple) bool) {
+	bound := map[graph.Position]graph.ID{}
+	for _, pos := range []graph.Position{graph.PosS, graph.PosP, graph.PosO} {
+		t := tp.Term(pos)
+		if !t.IsVar {
+			bound[pos] = t.Value
+		} else if v, ok := b[t.Name]; ok {
+			bound[pos] = v
+		}
+	}
+	tree, prefix := j.bestTree(bound)
+	lo, hi := tree.PrefixRange(prefix)
+	for i := lo; i < hi; i++ {
+		tr := tree.TripleAt(i)
+		if matchesBound(tr, bound) {
+			if !visit(tr) {
+				return
+			}
+		}
+	}
+}
+
+func matchesBound(tr graph.Triple, bound map[graph.Position]graph.ID) bool {
+	if v, ok := bound[graph.PosS]; ok && tr.S != v {
+		return false
+	}
+	if v, ok := bound[graph.PosP]; ok && tr.P != v {
+		return false
+	}
+	if v, ok := bound[graph.PosO]; ok && tr.O != v {
+		return false
+	}
+	return true
+}
+
+// estimate returns the index range size for tp under b — the planner's
+// selectivity estimate.
+func (j *Jena) estimate(tp graph.TriplePattern, b graph.Binding) int {
+	bound := map[graph.Position]graph.ID{}
+	for _, pos := range []graph.Position{graph.PosS, graph.PosP, graph.PosO} {
+		t := tp.Term(pos)
+		if !t.IsVar {
+			bound[pos] = t.Value
+		} else if v, ok := b[t.Name]; ok {
+			bound[pos] = v
+		}
+	}
+	tree, prefix := j.bestTree(bound)
+	lo, hi := tree.PrefixRange(prefix)
+	return hi - lo
+}
+
+// extend merges tp's components into b given a matching triple, returning
+// false on a conflict (repeated variable with a different value).
+func extend(tp graph.TriplePattern, tr graph.Triple, b graph.Binding) (graph.Binding, bool) {
+	vals := [3]graph.ID{tr.S, tr.P, tr.O}
+	out := b
+	cloned := false
+	for i, pos := range []graph.Position{graph.PosS, graph.PosP, graph.PosO} {
+		t := tp.Term(pos)
+		if !t.IsVar {
+			continue
+		}
+		if v, ok := out[t.Name]; ok {
+			if v != vals[i] {
+				return nil, false
+			}
+			continue
+		}
+		if !cloned {
+			out = b.Clone()
+			cloned = true
+		}
+		out[t.Name] = vals[i]
+	}
+	return out, true
+}
+
+// Evaluate runs the nested-loop plan and returns solutions under the same
+// options contract as the LTJ engine.
+func (j *Jena) Evaluate(q graph.Pattern, opt ltj.Options) (*ltj.Result, error) {
+	res := &ltj.Result{}
+	if len(q) == 0 {
+		return res, nil
+	}
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = time.Now().Add(opt.Timeout)
+	}
+	ticks := 0
+	checkDeadline := func() bool {
+		if deadline.IsZero() {
+			return false
+		}
+		ticks++
+		return ticks&255 == 0 && time.Now().After(deadline)
+	}
+
+	remaining := make([]graph.TriplePattern, len(q))
+	copy(remaining, q)
+
+	var rec func(rem []graph.TriplePattern, b graph.Binding) bool
+	rec = func(rem []graph.TriplePattern, b graph.Binding) bool {
+		if checkDeadline() {
+			res.TimedOut = true
+			return false
+		}
+		if len(rem) == 0 {
+			res.Solutions = append(res.Solutions, b.Clone())
+			return opt.Limit <= 0 || len(res.Solutions) < opt.Limit
+		}
+		// Greedy: evaluate next the pattern with the smallest current
+		// estimate (most selective under the bindings so far).
+		bestI, bestE := 0, int(^uint(0)>>1)
+		for i, tp := range rem {
+			if e := j.estimate(tp, b); e < bestE {
+				bestI, bestE = i, e
+			}
+		}
+		tp := rem[bestI]
+		rest := make([]graph.TriplePattern, 0, len(rem)-1)
+		rest = append(rest, rem[:bestI]...)
+		rest = append(rest, rem[bestI+1:]...)
+		cont := true
+		j.scan(tp, b, func(tr graph.Triple) bool {
+			if checkDeadline() {
+				res.TimedOut = true
+				cont = false
+				return false
+			}
+			if ext, ok := extend(tp, tr, b); ok {
+				if !rec(rest, ext) {
+					cont = false
+					return false
+				}
+			}
+			return true
+		})
+		return cont
+	}
+	rec(remaining, graph.Binding{})
+	if res.TimedOut {
+		return res, nil
+	}
+	return res, nil
+}

@@ -1,0 +1,84 @@
+package btreeltj
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ltj"
+	"repro/internal/ring"
+	"repro/internal/testutil"
+)
+
+func TestRandomQueriesAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	g := testutil.RandomGraph(rng, 120, 15, 3)
+	idx := New(g)
+	for trial := 0; trial < 150; trial++ {
+		q := testutil.RandomPattern(rng, g, 1+rng.Intn(4), 1+rng.Intn(4), 0.4, true)
+		want := g.Evaluate(q, 0)
+		res, err := ltj.Evaluate(idx, q, ltj.Options{})
+		if err != nil {
+			t.Fatalf("query %v: %v", q, err)
+		}
+		if diff := testutil.SameSolutions(res.Solutions, want, q.Vars()); diff != "" {
+			t.Fatalf("query %v: %s", q, diff)
+		}
+	}
+}
+
+func TestLargerGraphSpotChecks(t *testing.T) {
+	// Cross-check against the (independently implemented) ring index on a
+	// graph too large for the naive evaluator.
+	rng := rand.New(rand.NewSource(72))
+	g := testutil.RandomGraph(rng, 3000, 80, 4)
+	idx := New(g)
+	rIdx := ring.New(g, ring.Options{})
+	ringIdx := ltj.IndexFunc(func(tp graph.TriplePattern) ltj.PatternIter {
+		return rIdx.NewPatternState(tp)
+	})
+	for trial := 0; trial < 40; trial++ {
+		q := testutil.RandomPattern(rng, g, 1+rng.Intn(3), 1+rng.Intn(3), 0.5, false)
+		want, err := ltj.Evaluate(ringIdx, q, ltj.Options{})
+		if err != nil {
+			t.Fatalf("ring query %v: %v", q, err)
+		}
+		res, err := ltj.Evaluate(idx, q, ltj.Options{})
+		if err != nil {
+			t.Fatalf("query %v: %v", q, err)
+		}
+		if diff := testutil.SameSolutions(res.Solutions, want.Solutions, q.Vars()); diff != "" {
+			t.Fatalf("query %v: %s", q, diff)
+		}
+	}
+}
+
+func TestSpaceIsSixOrders(t *testing.T) {
+	g := testutil.RandomGraph(rand.New(rand.NewSource(73)), 2000, 200, 5)
+	idx := New(g)
+	bpt := float64(idx.SizeBytes()) / float64(g.Len())
+	if bpt < 72 {
+		t.Errorf("Jena-LTJ bytes/triple = %.1f, expected >= 72 (six orders)", bpt)
+	}
+}
+
+func TestTriangle(t *testing.T) {
+	ts := []graph.Triple{
+		{S: 0, P: 0, O: 1}, {S: 1, P: 0, O: 2}, {S: 0, P: 0, O: 2},
+		{S: 5, P: 0, O: 6},
+	}
+	g := graph.New(ts)
+	idx := New(g)
+	q := graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Const(0), graph.Var("y")),
+		graph.TP(graph.Var("y"), graph.Const(0), graph.Var("z")),
+		graph.TP(graph.Var("x"), graph.Const(0), graph.Var("z")),
+	}
+	res, err := ltj.Evaluate(idx, q, ltj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 {
+		t.Fatalf("triangles = %d, want 1", len(res.Solutions))
+	}
+}

@@ -1,0 +1,106 @@
+package flattrie
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ltj"
+	"repro/internal/testutil"
+)
+
+func TestRandomQueriesAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	g := testutil.RandomGraph(rng, 120, 15, 3)
+	idx := New(g)
+	for trial := 0; trial < 150; trial++ {
+		q := testutil.RandomPattern(rng, g, 1+rng.Intn(4), 1+rng.Intn(4), 0.4, true)
+		want := g.Evaluate(q, 0)
+		res, err := ltj.Evaluate(idx, q, ltj.Options{})
+		if err != nil {
+			t.Fatalf("query %v: %v", q, err)
+		}
+		if diff := testutil.SameSolutions(res.Solutions, want, q.Vars()); diff != "" {
+			t.Fatalf("query %v: %s", q, diff)
+		}
+	}
+}
+
+func TestPaperQuery(t *testing.T) {
+	g := testutil.PaperGraph()
+	idx := New(g)
+	q := graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Const(2), graph.Var("y")),
+		graph.TP(graph.Var("x"), graph.Const(1), graph.Var("z")),
+		graph.TP(graph.Var("z"), graph.Const(0), graph.Var("y")),
+	}
+	res, err := ltj.Evaluate(idx, q, ltj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 3 {
+		t.Fatalf("paper query: got %d solutions, want 3", len(res.Solutions))
+	}
+}
+
+func TestLeapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	g := testutil.RandomGraph(rng, 80, 12, 3)
+	idx := New(g)
+	for trial := 0; trial < 200; trial++ {
+		tr := g.Triples()[rng.Intn(g.Len())]
+		it := idx.NewPatternIter(graph.TP(graph.Const(tr.S), graph.Var("p"), graph.Var("o")))
+		c := graph.ID(rng.Intn(4))
+		got, ok := it.Leap(graph.PosP, c)
+		// Oracle.
+		want, wok := graph.ID(0), false
+		for _, u := range g.Triples() {
+			if u.S == tr.S && u.P >= c && (!wok || u.P < want) {
+				want, wok = u.P, true
+			}
+		}
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("Leap(P,%d) with s=%d: got (%d,%v), want (%d,%v)", c, tr.S, got, ok, want, wok)
+		}
+	}
+}
+
+func TestSixOrdersSpace(t *testing.T) {
+	g := testutil.RandomGraph(rand.New(rand.NewSource(53)), 1000, 100, 5)
+	idx := New(g)
+	// Six 12-byte copies: at least 72 bytes per triple.
+	if bpt := float64(idx.SizeBytes()) / float64(g.Len()); bpt < 72 {
+		t.Errorf("flat trie bytes/triple = %.1f, expected >= 72 (six copies)", bpt)
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	g := testutil.PaperGraph()
+	idx := New(g)
+	it := idx.NewPatternIter(graph.TP(graph.Const(5), graph.Const(1), graph.Var("o")))
+	if !it.CanEnumerate(graph.PosO) {
+		t.Fatal("cannot enumerate free object")
+	}
+	var got []graph.ID
+	it.Enumerate(graph.PosO, func(c graph.ID) bool {
+		got = append(got, c)
+		return true
+	})
+	if len(got) != 5 { // Nobel nominated 5 entities
+		t.Fatalf("enumerated %d objects, want 5: %v", len(got), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("enumeration not strictly increasing")
+		}
+	}
+}
+
+func TestCannotEnumerateBoundPosition(t *testing.T) {
+	g := testutil.PaperGraph()
+	idx := New(g)
+	it := idx.NewPatternIter(graph.TP(graph.Const(5), graph.Var("p"), graph.Var("o")))
+	if it.CanEnumerate(graph.PosS) {
+		t.Error("claimed to enumerate a bound position")
+	}
+}

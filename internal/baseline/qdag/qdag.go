@@ -1,0 +1,273 @@
+// Package qdag is the repository's Qdag analogue (Navarro, Reutter &
+// Rojas, ICDT 2020): the only previous succinct worst-case-optimal index.
+// Each predicate's binary (subject, object) relation is stored as a
+// k²-tree — a quadtree over the adjacency matrix serialized level by
+// level into rank-enabled bitvectors — and a basic graph pattern is
+// evaluated by intersecting the quadtrees lifted to the full variable
+// hypercube: at each level every variable's range halves, giving 2^v
+// sub-cells, and a cell survives only if every pattern's quadtree has the
+// corresponding quadrant non-empty. The running time is O(Q*·2^v·log U)
+// — the exponential-in-width factor the paper's Figure 8 exposes on
+// larger patterns, while the space stays succinct.
+//
+// Like the system the paper benchmarked (see its footnote 6), this index
+// only supports patterns with a constant predicate and variable subject
+// and object; Evaluate returns ErrUnsupported otherwise, which is exactly
+// why the paper excludes Qdag from its Table 2 benchmark.
+package qdag
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/bitvector"
+	"repro/internal/graph"
+	"repro/internal/ltj"
+)
+
+// ErrUnsupported is returned for patterns outside the index's reach
+// (constant subjects/objects or variable predicates).
+var ErrUnsupported = errors.New("qdag: pattern shape not supported (predicates must be constant, subjects/objects variables)")
+
+// k2tree is a static quadtree over a 2^h × 2^h boolean matrix.
+type k2tree struct {
+	h      uint // tree height; matrix side = 1 << h
+	levels []*bitvector.Plain
+	// levels[l] holds 4 bits per level-l node, one per quadrant, in BFS
+	// order. A node is identified by its BFS index; the root is node 0 of
+	// level 0. The children of a set bit are the node at the next level
+	// whose index is the rank of that bit.
+	n int // number of points
+}
+
+type point struct{ row, col graph.ID }
+
+// buildK2 builds the quadtree of the given points (rows and cols < side,
+// side = 1<<h).
+func buildK2(points []point, h uint) *k2tree {
+	t := &k2tree{h: h, n: len(points)}
+	if h == 0 {
+		h = 1
+		t.h = 1
+	}
+	// BFS: at each level, nodes are groups of points within one submatrix.
+	type node struct {
+		pts  []point
+		size graph.ID // submatrix side
+	}
+	cur := []node{{pts: points, size: 1 << t.h}}
+	for l := uint(0); l < t.h; l++ {
+		b := bitvector.NewBuilder(4 * len(cur))
+		var next []node
+		for gi, nd := range cur {
+			half := nd.size / 2
+			var quads [4][]point
+			for _, p := range nd.pts {
+				q := 0
+				if p.row >= half {
+					q += 2
+				}
+				if p.col >= half {
+					q++
+				}
+				quads[q] = append(quads[q], p)
+			}
+			for q := 0; q < 4; q++ {
+				if len(quads[q]) == 0 {
+					continue
+				}
+				b.Set(4*gi + q)
+				if l+1 < t.h {
+					// Translate the points into the child submatrix.
+					child := make([]point, len(quads[q]))
+					for i, p := range quads[q] {
+						child[i] = p
+						if q >= 2 {
+							child[i].row -= half
+						}
+						if q%2 == 1 {
+							child[i].col -= half
+						}
+					}
+					next = append(next, node{pts: child, size: half})
+				}
+			}
+		}
+		t.levels = append(t.levels, b.BuildPlain())
+		cur = next
+	}
+	return t
+}
+
+// childNode returns the BFS index at level l+1 of the child of node g in
+// quadrant q, or -1 if that quadrant is empty. The last level has no
+// children; hasQuad answers emptiness there.
+func (t *k2tree) childNode(l uint, g int, q int) int {
+	bit := 4*g + q
+	if !t.levels[l].Get(bit) {
+		return -1
+	}
+	return t.levels[l].Rank1(bit) // set bits before this one = child index
+}
+
+// hasQuad reports whether node g at level l has a non-empty quadrant q.
+func (t *k2tree) hasQuad(l uint, g int, q int) bool {
+	return t.levels[l].Get(4*g + q)
+}
+
+func (t *k2tree) sizeBytes() int {
+	total := 16
+	for _, lv := range t.levels {
+		total += lv.SizeBytes()
+	}
+	return total
+}
+
+// Index holds one k²-tree per predicate.
+type Index struct {
+	trees map[graph.ID]*k2tree
+	h     uint
+	numSO graph.ID
+	n     int
+}
+
+// New builds the per-predicate quadtrees of g.
+func New(g *graph.Graph) *Index {
+	h := uint(1)
+	for (graph.ID(1) << h) < g.NumSO() {
+		h++
+	}
+	idx := &Index{trees: map[graph.ID]*k2tree{}, h: h, numSO: g.NumSO(), n: g.Len()}
+	byPred := map[graph.ID][]point{}
+	for _, tr := range g.Triples() {
+		byPred[tr.P] = append(byPred[tr.P], point{row: tr.S, col: tr.O})
+	}
+	for p, pts := range byPred {
+		idx.trees[p] = buildK2(pts, h)
+	}
+	return idx
+}
+
+// SizeBytes returns the total footprint of the quadtrees.
+func (idx *Index) SizeBytes() int {
+	total := 48
+	for _, t := range idx.trees {
+		total += t.sizeBytes()
+	}
+	return total
+}
+
+// Len returns the number of indexed triples.
+func (idx *Index) Len() int { return idx.n }
+
+// liftedPattern is one pattern prepared for the hypercube walk: its
+// quadtree and the dimensions its row/column map to.
+type liftedPattern struct {
+	t        *k2tree
+	rowDim   int
+	colDim   int
+	curNodes []int // node stack during the descent (index per level)
+}
+
+// Evaluate runs the lifted multiway intersection. Only patterns of the
+// form (?x, p, ?y) — constant predicate, variable subject/object — are
+// supported; ErrUnsupported is returned otherwise.
+func (idx *Index) Evaluate(q graph.Pattern, opt ltj.Options) (*ltj.Result, error) {
+	res := &ltj.Result{}
+	if len(q) == 0 {
+		return res, nil
+	}
+	// Map variables to hypercube dimensions.
+	dimOf := map[string]int{}
+	var dims []string
+	lift := make([]liftedPattern, 0, len(q))
+	for _, tp := range q {
+		if tp.P.IsVar || !tp.S.IsVar || !tp.O.IsVar {
+			return nil, ErrUnsupported
+		}
+		t, ok := idx.trees[tp.P.Value]
+		if !ok {
+			return res, nil // predicate absent: no solutions
+		}
+		for _, name := range []string{tp.S.Name, tp.O.Name} {
+			if _, ok := dimOf[name]; !ok {
+				dimOf[name] = len(dims)
+				dims = append(dims, name)
+			}
+		}
+		lift = append(lift, liftedPattern{
+			t:        t,
+			rowDim:   dimOf[tp.S.Name],
+			colDim:   dimOf[tp.O.Name],
+			curNodes: make([]int, idx.h+1),
+		})
+	}
+
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = time.Now().Add(opt.Timeout)
+	}
+	ticks := 0
+
+	vals := make([]graph.ID, len(dims)) // accumulated high bits per dimension
+	var rec func(level uint) bool
+	rec = func(level uint) bool {
+		if !deadline.IsZero() {
+			ticks++
+			if ticks&255 == 0 && time.Now().After(deadline) {
+				res.TimedOut = true
+				return false
+			}
+		}
+		if level == idx.h {
+			// One cell: a full assignment.
+			b := graph.Binding{}
+			for i, name := range dims {
+				if vals[i] >= idx.numSO {
+					return true // cell outside the domain (padding)
+				}
+				b[name] = vals[i]
+			}
+			res.Solutions = append(res.Solutions, b)
+			return opt.Limit <= 0 || len(res.Solutions) < opt.Limit
+		}
+		// Try all 2^v half-splits of the current cell.
+		v := len(dims)
+		for combo := 0; combo < 1<<v; combo++ {
+			ok := true
+			for i := range lift {
+				lp := &lift[i]
+				rb := (combo >> lp.rowDim) & 1
+				cb := (combo >> lp.colDim) & 1
+				qd := rb*2 + cb
+				if !lp.t.hasQuad(level, lp.curNodes[level], qd) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Descend every pattern and every dimension.
+			for i := range lift {
+				lp := &lift[i]
+				rb := (combo >> lp.rowDim) & 1
+				cb := (combo >> lp.colDim) & 1
+				lp.curNodes[level+1] = lp.t.childNode(level, lp.curNodes[level], rb*2+cb)
+			}
+			for i := range dims {
+				vals[i] = vals[i]<<1 | graph.ID((combo>>i)&1)
+			}
+			cont := rec(level + 1)
+			for i := range dims {
+				vals[i] >>= 1
+			}
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return res, nil
+}

@@ -1,0 +1,178 @@
+package qdag
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ltj"
+	"repro/internal/testutil"
+)
+
+func TestK2TreeMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	pts := make([]point, 0, 200)
+	set := map[point]bool{}
+	for i := 0; i < 200; i++ {
+		p := point{row: graph.ID(rng.Intn(50)), col: graph.ID(rng.Intn(50))}
+		if !set[p] {
+			set[p] = true
+			pts = append(pts, p)
+		}
+	}
+	h := uint(6) // 64x64
+	tr := buildK2(pts, h)
+	// Navigate to every cell and compare with the set.
+	for row := graph.ID(0); row < 64; row++ {
+		for col := graph.ID(0); col < 64; col++ {
+			node := 0
+			present := true
+			for l := uint(0); l < h; l++ {
+				shift := h - 1 - l
+				rb := int((row >> shift) & 1)
+				cb := int((col >> shift) & 1)
+				qd := rb*2 + cb
+				if !tr.hasQuad(l, node, qd) {
+					present = false
+					break
+				}
+				node = tr.childNode(l, node, qd)
+			}
+			if present != set[point{row, col}] {
+				t.Fatalf("cell (%d,%d): tree says %v, set says %v", row, col, present, set[point{row, col}])
+			}
+		}
+	}
+}
+
+func supportedPattern(q graph.Pattern) bool {
+	for _, tp := range q {
+		if tp.P.IsVar || !tp.S.IsVar || !tp.O.IsVar {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEvaluateAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	g := testutil.RandomGraph(rng, 150, 20, 3)
+	idx := New(g)
+	tried := 0
+	for trial := 0; tried < 80 && trial < 2000; trial++ {
+		q := testutil.RandomPattern(rng, g, 1+rng.Intn(3), 1+rng.Intn(4), 0.0, true)
+		// Force constant predicates: replace predicate variables.
+		for i := range q {
+			q[i].P = graph.Const(graph.ID(rng.Intn(3)))
+		}
+		if !supportedPattern(q) {
+			continue
+		}
+		tried++
+		want := g.Evaluate(q, 0)
+		res, err := idx.Evaluate(q, ltj.Options{})
+		if err != nil {
+			t.Fatalf("query %v: %v", q, err)
+		}
+		if diff := testutil.SameSolutions(res.Solutions, want, q.Vars()); diff != "" {
+			t.Fatalf("query %v: %s", q, diff)
+		}
+	}
+	if tried < 50 {
+		t.Fatalf("only exercised %d supported queries", tried)
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	ts := []graph.Triple{
+		{S: 0, P: 0, O: 1}, {S: 1, P: 0, O: 2}, {S: 0, P: 0, O: 2},
+		{S: 3, P: 0, O: 4}, {S: 4, P: 0, O: 5}, {S: 3, P: 0, O: 5},
+		{S: 6, P: 0, O: 7},
+	}
+	g := graph.New(ts)
+	idx := New(g)
+	q := graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Const(0), graph.Var("y")),
+		graph.TP(graph.Var("y"), graph.Const(0), graph.Var("z")),
+		graph.TP(graph.Var("x"), graph.Const(0), graph.Var("z")),
+	}
+	res, err := idx.Evaluate(q, ltj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("triangles = %d, want 2", len(res.Solutions))
+	}
+}
+
+func TestUnsupportedShapes(t *testing.T) {
+	g := testutil.PaperGraph()
+	idx := New(g)
+	for _, q := range []graph.Pattern{
+		{graph.TP(graph.Const(5), graph.Const(1), graph.Var("o"))}, // constant subject
+		{graph.TP(graph.Var("s"), graph.Var("p"), graph.Var("o"))}, // variable predicate
+		{graph.TP(graph.Var("s"), graph.Const(1), graph.Const(0))}, // constant object
+	} {
+		if _, err := idx.Evaluate(q, ltj.Options{}); !errors.Is(err, ErrUnsupported) {
+			t.Errorf("query %v: error = %v, want ErrUnsupported", q, err)
+		}
+	}
+}
+
+func TestAbsentPredicate(t *testing.T) {
+	g := testutil.PaperGraph()
+	idx := New(g)
+	res, err := idx.Evaluate(graph.Pattern{
+		graph.TP(graph.Var("s"), graph.Const(99), graph.Var("o")),
+	}, ltj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 0 {
+		t.Error("absent predicate yielded solutions")
+	}
+}
+
+func TestSelfLoopSharedVariable(t *testing.T) {
+	g := graph.New([]graph.Triple{
+		{S: 1, P: 0, O: 1}, {S: 2, P: 0, O: 3}, {S: 4, P: 0, O: 4},
+	})
+	idx := New(g)
+	res, err := idx.Evaluate(graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Const(0), graph.Var("x")),
+	}, ltj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("self-loops = %d, want 2", len(res.Solutions))
+	}
+}
+
+func TestLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	g := testutil.RandomGraph(rng, 500, 30, 2)
+	idx := New(g)
+	res, err := idx.Evaluate(graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Const(0), graph.Var("y")),
+	}, ltj.Options{Limit: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 6 {
+		t.Errorf("limit 6: got %d", len(res.Solutions))
+	}
+}
+
+func TestSuccinctSpace(t *testing.T) {
+	// The quadtrees of a sparse graph should be far below the 72 B/triple
+	// of the six flat orders.
+	rng := rand.New(rand.NewSource(94))
+	g := testutil.RandomGraph(rng, 20000, 5000, 4)
+	idx := New(g)
+	bpt := float64(idx.SizeBytes()) / float64(g.Len())
+	if bpt > 30 {
+		t.Errorf("qdag bytes/triple = %.1f, expected succinct (< 30)", bpt)
+	}
+}

@@ -1,0 +1,378 @@
+// Package rdf3x is the repository's RDF-3X analogue (Neumann & Weikum
+// 2010): a clustered, leaf-compressed triple store. Triples are kept in
+// all six orders; within each order, leaves of 128 triples are
+// differentially encoded (a header byte says how many leading components
+// repeat the previous triple; the remaining components are varint gaps),
+// exactly the byte-level scheme RDF-3X popularised. Joins are pairwise
+// index-nested-loop with a greedy selectivity planner — deliberately not
+// worst-case optimal, like the system it models.
+package rdf3x
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ltj"
+)
+
+// BlockSize is the number of triples per compressed leaf.
+const BlockSize = 128
+
+var perms = [6][3]graph.Position{
+	{graph.PosS, graph.PosP, graph.PosO},
+	{graph.PosS, graph.PosO, graph.PosP},
+	{graph.PosP, graph.PosS, graph.PosO},
+	{graph.PosP, graph.PosO, graph.PosS},
+	{graph.PosO, graph.PosS, graph.PosP},
+	{graph.PosO, graph.PosP, graph.PosS},
+}
+
+type key [3]graph.ID
+
+func (k key) less(o key) bool {
+	for i := 0; i < 3; i++ {
+		if k[i] != o[i] {
+			return k[i] < o[i]
+		}
+	}
+	return false
+}
+
+// order is one compressed clustered index order.
+type order struct {
+	perm   [3]graph.Position
+	firsts []key  // first key of each block (the sparse directory)
+	data   []byte // concatenated compressed blocks
+	starts []int  // byte offset of each block in data
+	counts []int  // triples per block
+	n      int
+}
+
+func buildOrder(ts []graph.Triple, perm [3]graph.Position) *order {
+	o := &order{perm: perm, n: len(ts)}
+	keys := make([]key, len(ts))
+	for i, tr := range ts {
+		keys[i] = keyOf(tr, perm)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+
+	var buf [binary.MaxVarintLen64]byte
+	for b := 0; b < len(keys); b += BlockSize {
+		end := b + BlockSize
+		if end > len(keys) {
+			end = len(keys)
+		}
+		o.firsts = append(o.firsts, keys[b])
+		o.starts = append(o.starts, len(o.data))
+		o.counts = append(o.counts, end-b)
+		prev := keys[b]
+		// The first triple of a block is implicit in the directory entry.
+		for i := b + 1; i < end; i++ {
+			k := keys[i]
+			// shared = number of leading components equal to the previous
+			// triple; the first differing component is gap-encoded.
+			shared := 0
+			for shared < 3 && k[shared] == prev[shared] {
+				shared++
+			}
+			if shared == 3 {
+				panic("rdf3x: duplicate triple in input (graphs must be deduplicated)")
+			}
+			o.data = append(o.data, byte(shared))
+			gap := uint64(k[shared] - prev[shared]) // positive: sorted order
+			n := binary.PutUvarint(buf[:], gap)
+			o.data = append(o.data, buf[:n]...)
+			for j := shared + 1; j < 3; j++ {
+				n := binary.PutUvarint(buf[:], uint64(k[j]))
+				o.data = append(o.data, buf[:n]...)
+			}
+			prev = k
+		}
+	}
+	o.starts = append(o.starts, len(o.data))
+	return o
+}
+
+func keyOf(tr graph.Triple, perm [3]graph.Position) key {
+	var k key
+	for i, pos := range perm {
+		switch pos {
+		case graph.PosS:
+			k[i] = tr.S
+		case graph.PosP:
+			k[i] = tr.P
+		default:
+			k[i] = tr.O
+		}
+	}
+	return k
+}
+
+func (k key) toTriple(perm [3]graph.Position) graph.Triple {
+	var tr graph.Triple
+	for i, pos := range perm {
+		switch pos {
+		case graph.PosS:
+			tr.S = k[i]
+		case graph.PosP:
+			tr.P = k[i]
+		default:
+			tr.O = k[i]
+		}
+	}
+	return tr
+}
+
+// scanBlock decompresses block b, calling visit for each key; visit
+// returning false stops the scan.
+func (o *order) scanBlock(b int, visit func(key) bool) bool {
+	k := o.firsts[b]
+	if !visit(k) {
+		return false
+	}
+	data := o.data[o.starts[b]:o.starts[b+1]]
+	for i := 1; i < o.counts[b]; i++ {
+		shared := int(data[0])
+		data = data[1:]
+		gap, n := binary.Uvarint(data)
+		data = data[n:]
+		k[shared] += graph.ID(gap)
+		for j := shared + 1; j < 3; j++ {
+			v, n := binary.Uvarint(data)
+			data = data[n:]
+			k[j] = graph.ID(v)
+		}
+		if !visit(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanRange visits all keys k with lo <= k < hi in sorted order.
+func (o *order) scanRange(lo, hi key, visit func(key) bool) {
+	// First block that can contain lo: the last block whose first key <= lo.
+	b := sort.Search(len(o.firsts), func(i int) bool { return lo.less(o.firsts[i]) })
+	if b > 0 {
+		b--
+	}
+	for ; b < len(o.firsts) && o.firsts[b].less(hi); b++ {
+		cont := o.scanBlock(b, func(k key) bool {
+			if k.less(lo) {
+				return true
+			}
+			if !k.less(hi) {
+				return false // keys only grow: the range is exhausted
+			}
+			return visit(k)
+		})
+		if !cont {
+			return
+		}
+	}
+}
+
+// estimate returns an upper bound on the number of keys in [lo, hi),
+// at block granularity (the planner's statistic).
+func (o *order) estimate(lo, hi key) int {
+	b1 := sort.Search(len(o.firsts), func(i int) bool { return lo.less(o.firsts[i]) })
+	if b1 > 0 {
+		b1--
+	}
+	b2 := sort.Search(len(o.firsts), func(i int) bool { return hi.less(o.firsts[i]) || o.firsts[i] == hi })
+	if b2 >= len(o.firsts) {
+		b2 = len(o.firsts)
+	}
+	est := 0
+	for b := b1; b < b2; b++ {
+		est += o.counts[b]
+	}
+	return est
+}
+
+func (o *order) sizeBytes() int {
+	return len(o.data) + 12*len(o.firsts) + 8*len(o.starts) + 8*len(o.counts)
+}
+
+// Index is the six-order compressed store.
+type Index struct {
+	orders [6]*order
+	n      int
+}
+
+// New builds the index.
+func New(g *graph.Graph) *Index {
+	idx := &Index{n: g.Len()}
+	for i, p := range perms {
+		idx.orders[i] = buildOrder(g.Triples(), p)
+	}
+	return idx
+}
+
+// SizeBytes returns the total compressed footprint.
+func (idx *Index) SizeBytes() int {
+	total := 0
+	for _, o := range idx.orders {
+		total += o.sizeBytes()
+	}
+	return total
+}
+
+// Len returns the number of indexed triples.
+func (idx *Index) Len() int { return idx.n }
+
+// rangeFor computes the best order and key range for tp under binding b.
+func (idx *Index) rangeFor(tp graph.TriplePattern, b graph.Binding) (*order, key, key, map[graph.Position]graph.ID) {
+	bound := map[graph.Position]graph.ID{}
+	for _, pos := range []graph.Position{graph.PosS, graph.PosP, graph.PosO} {
+		t := tp.Term(pos)
+		if !t.IsVar {
+			bound[pos] = t.Value
+		} else if v, ok := b[t.Name]; ok {
+			bound[pos] = v
+		}
+	}
+	// Pick the order with the longest bound prefix.
+	var best *order
+	bestLen := -1
+	for _, o := range idx.orders {
+		l := 0
+		for _, pos := range o.perm {
+			if _, ok := bound[pos]; !ok {
+				break
+			}
+			l++
+		}
+		if l > bestLen {
+			bestLen, best = l, o
+		}
+	}
+	var lo, hi key
+	for i := 0; i < bestLen; i++ {
+		lo[i] = bound[best.perm[i]]
+		hi[i] = bound[best.perm[i]]
+	}
+	// hi = prefix incremented at its last bound coordinate.
+	if bestLen == 0 {
+		hi = key{^graph.ID(0), ^graph.ID(0), ^graph.ID(0)}
+		// Upper bound is exclusive; use max key and accept missing the
+		// all-max triple (ids never reach 2^32-1 in practice).
+	} else {
+		carry := true
+		for i := bestLen - 1; i >= 0 && carry; i-- {
+			hi[i]++
+			carry = hi[i] == 0
+		}
+		if carry {
+			hi = key{^graph.ID(0), ^graph.ID(0), ^graph.ID(0)}
+		}
+	}
+	return best, lo, hi, bound
+}
+
+// Evaluate runs the pairwise greedy plan.
+func (idx *Index) Evaluate(q graph.Pattern, opt ltj.Options) (*ltj.Result, error) {
+	res := &ltj.Result{}
+	if len(q) == 0 {
+		return res, nil
+	}
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = time.Now().Add(opt.Timeout)
+	}
+	ticks := 0
+	expired := func() bool {
+		if deadline.IsZero() {
+			return false
+		}
+		ticks++
+		return ticks&255 == 0 && time.Now().After(deadline)
+	}
+
+	var rec func(rem []graph.TriplePattern, b graph.Binding) bool
+	rec = func(rem []graph.TriplePattern, b graph.Binding) bool {
+		if expired() {
+			res.TimedOut = true
+			return false
+		}
+		if len(rem) == 0 {
+			res.Solutions = append(res.Solutions, b.Clone())
+			return opt.Limit <= 0 || len(res.Solutions) < opt.Limit
+		}
+		bestI, bestE := 0, int(^uint(0)>>1)
+		for i, tp := range rem {
+			o, lo, hi, _ := idx.rangeFor(tp, b)
+			if e := o.estimate(lo, hi); e < bestE {
+				bestI, bestE = i, e
+			}
+		}
+		tp := rem[bestI]
+		rest := make([]graph.TriplePattern, 0, len(rem)-1)
+		rest = append(rest, rem[:bestI]...)
+		rest = append(rest, rem[bestI+1:]...)
+		o, lo, hi, bound := idx.rangeFor(tp, b)
+		cont := true
+		o.scanRange(lo, hi, func(k key) bool {
+			if expired() {
+				res.TimedOut = true
+				cont = false
+				return false
+			}
+			tr := k.toTriple(o.perm)
+			if !matchesBound(tr, bound) {
+				return true
+			}
+			ext, ok := extendBinding(tp, tr, b)
+			if !ok {
+				return true
+			}
+			if !rec(rest, ext) {
+				cont = false
+				return false
+			}
+			return true
+		})
+		return cont
+	}
+	rec(q, graph.Binding{})
+	return res, nil
+}
+
+func matchesBound(tr graph.Triple, bound map[graph.Position]graph.ID) bool {
+	if v, ok := bound[graph.PosS]; ok && tr.S != v {
+		return false
+	}
+	if v, ok := bound[graph.PosP]; ok && tr.P != v {
+		return false
+	}
+	if v, ok := bound[graph.PosO]; ok && tr.O != v {
+		return false
+	}
+	return true
+}
+
+func extendBinding(tp graph.TriplePattern, tr graph.Triple, b graph.Binding) (graph.Binding, bool) {
+	vals := [3]graph.ID{tr.S, tr.P, tr.O}
+	out := b
+	cloned := false
+	for i, pos := range []graph.Position{graph.PosS, graph.PosP, graph.PosO} {
+		t := tp.Term(pos)
+		if !t.IsVar {
+			continue
+		}
+		if v, ok := out[t.Name]; ok {
+			if v != vals[i] {
+				return nil, false
+			}
+			continue
+		}
+		if !cloned {
+			out = b.Clone()
+			cloned = true
+		}
+		out[t.Name] = vals[i]
+	}
+	return out, true
+}

@@ -1,0 +1,76 @@
+package uniring
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ltj"
+	"repro/internal/ring"
+	"repro/internal/testutil"
+)
+
+func TestTwoOrders(t *testing.T) {
+	g := testutil.PaperGraph()
+	idx := New(g)
+	if idx.Orders() != 2 {
+		t.Fatalf("orders = %d, want 2 (ctw(3), Table 3)", idx.Orders())
+	}
+}
+
+func TestRandomQueriesAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	g := testutil.RandomGraph(rng, 120, 15, 3)
+	idx := New(g)
+	for trial := 0; trial < 100; trial++ {
+		q := testutil.RandomPattern(rng, g, 1+rng.Intn(3), 1+rng.Intn(4), 0.4, false)
+		want := g.Evaluate(q, 0)
+		res, err := ltj.Evaluate(idx, q, ltj.Options{})
+		if err != nil {
+			t.Fatalf("query %v: %v", q, err)
+		}
+		if diff := testutil.SameSolutions(res.Solutions, want, q.Vars()); diff != "" {
+			t.Fatalf("query %v: %s", q, diff)
+		}
+	}
+}
+
+func TestPaperQuery(t *testing.T) {
+	g := testutil.PaperGraph()
+	idx := New(g)
+	q := graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Const(2), graph.Var("y")),
+		graph.TP(graph.Var("x"), graph.Const(1), graph.Var("z")),
+		graph.TP(graph.Var("z"), graph.Const(0), graph.Var("y")),
+	}
+	res, err := ltj.Evaluate(idx, q, ltj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 3 {
+		t.Fatalf("got %d solutions, want 3", len(res.Solutions))
+	}
+}
+
+func TestRoughlyTwiceTheRingSpace(t *testing.T) {
+	g := testutil.RandomGraph(rand.New(rand.NewSource(112)), 5000, 500, 8)
+	uni := New(g)
+	r := ring.New(g, ring.Options{})
+	ratio := float64(uni.SizeBytes()) / float64(r.SizeBytes())
+	if ratio < 1.2 || ratio > 4 {
+		t.Errorf("unidirectional/bidirectional space ratio = %.2f, expected near 2", ratio)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	idx := New(graph.New(nil))
+	res, err := ltj.Evaluate(idx, graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Var("p"), graph.Var("o")),
+	}, ltj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 0 {
+		t.Error("empty graph yielded solutions")
+	}
+}

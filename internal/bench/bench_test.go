@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ltj"
+	"repro/internal/testutil"
+	"repro/internal/wgpb"
+)
+
+func smallGraph() *graph.Graph {
+	return wgpb.Generate(wgpb.GraphConfig{Triples: 800, Nodes: 200, Predicates: 10, Seed: 5})
+}
+
+func TestBuildAllSystems(t *testing.T) {
+	g := smallGraph()
+	systems := Build(g, AllSystems())
+	if len(systems) != 7 {
+		t.Fatalf("built %d systems, want 7", len(systems))
+	}
+	names := map[string]bool{}
+	for _, s := range systems {
+		names[s.Name()] = true
+		if s.SizeBytes() <= 0 {
+			t.Errorf("%s: non-positive size", s.Name())
+		}
+	}
+	for _, want := range []string{"Ring", "C-Ring", "EmptyHeaded", "Qdag", "Jena", "Jena LTJ", "RDF-3X"} {
+		if !names[want] {
+			t.Errorf("missing system %q", want)
+		}
+	}
+}
+
+func TestAllSystemsAgreeOnWGPB(t *testing.T) {
+	// The integration test of the whole repository: every system must
+	// produce the same solutions for WGPB-shaped queries (Qdag included —
+	// WGPB patterns are exactly its supported shape).
+	g := smallGraph()
+	systems := Build(g, AllSystems())
+	w := wgpb.NewWorkload(g, 9)
+	for i := range wgpb.Shapes {
+		s := &wgpb.Shapes[i]
+		for _, q := range w.Queries(s, 2) {
+			var want []graph.Binding
+			for si, sys := range systems {
+				res, err := sys.Evaluate(q, ltj.Options{})
+				if err != nil {
+					t.Fatalf("%s shape %s: %v", sys.Name(), s.Name, err)
+				}
+				if si == 0 {
+					want = res.Solutions
+					continue
+				}
+				if diff := testutil.SameSolutions(res.Solutions, want, q.Vars()); diff != "" {
+					t.Fatalf("%s disagrees with %s on shape %s query %v: %s",
+						sys.Name(), systems[0].Name(), s.Name, q, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestSpaceOrdering(t *testing.T) {
+	// The paper's headline space result, at our scale: the rings are far
+	// smaller than the multi-order indexes. Compression effects need a
+	// graph large enough for the RRR directories to amortize, so this test
+	// uses a bigger instance than the agreement test.
+	g := wgpb.Generate(wgpb.GraphConfig{Triples: 40000, Nodes: 8000, Predicates: 16, Seed: 6})
+	systems := Build(g, AllSystems())
+	size := map[string]float64{}
+	for _, s := range systems {
+		size[s.Name()] = BytesPerTriple(s, g.Len())
+	}
+	if size["Ring"] >= size["EmptyHeaded"] {
+		t.Errorf("Ring (%.1f B/t) not smaller than EmptyHeaded (%.1f B/t)",
+			size["Ring"], size["EmptyHeaded"])
+	}
+	if size["Ring"] >= size["Jena LTJ"] {
+		t.Errorf("Ring (%.1f B/t) not smaller than Jena LTJ (%.1f B/t)",
+			size["Ring"], size["Jena LTJ"])
+	}
+	if size["C-Ring"] >= size["Ring"] {
+		t.Errorf("C-Ring (%.1f B/t) not smaller than Ring (%.1f B/t)",
+			size["C-Ring"], size["Ring"])
+	}
+	if size["Jena LTJ"] <= size["Jena"] {
+		t.Errorf("Jena LTJ (%.1f B/t, 6 orders) not larger than Jena (%.1f B/t, 3 orders)",
+			size["Jena LTJ"], size["Jena"])
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	g := smallGraph()
+	sys := Build(g, SystemSet{Ring: true})[0]
+	w := wgpb.NewWorkload(g, 4)
+	queries := w.Queries(wgpb.ShapeByName("P2"), 10)
+	stats, err := Run(sys, queries, ltj.Options{Limit: 1000, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Queries) != len(queries) {
+		t.Fatalf("recorded %d queries, want %d", len(stats.Queries), len(queries))
+	}
+	if stats.Min() > stats.Median() || stats.Median() > stats.Max() {
+		t.Errorf("ordering violated: min=%v median=%v max=%v", stats.Min(), stats.Median(), stats.Max())
+	}
+	if stats.Mean() <= 0 {
+		t.Errorf("mean = %v", stats.Mean())
+	}
+	if stats.Timeouts() != 0 {
+		t.Errorf("unexpected timeouts: %d", stats.Timeouts())
+	}
+	for _, qs := range stats.Queries {
+		if qs.Solutions == 0 {
+			t.Error("WGPB query with no solutions (random-walk guarantee broken)")
+		}
+	}
+}
+
+func TestQdagUnsupportedAccounting(t *testing.T) {
+	g := smallGraph()
+	sys := Build(g, SystemSet{Qdag: true})[0]
+	queries := []graph.Pattern{
+		{graph.TP(graph.Var("x"), graph.Const(0), graph.Var("y"))},
+		{graph.TP(graph.Const(1), graph.Const(0), graph.Var("y"))}, // unsupported
+	}
+	stats, err := Run(sys, queries, ltj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UnsupportedCount() != 1 {
+		t.Errorf("unsupported count = %d, want 1", stats.UnsupportedCount())
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	s := &RunStats{Queries: []QueryStat{
+		{Elapsed: 1 * time.Millisecond},
+		{Elapsed: 2 * time.Millisecond},
+		{Elapsed: 3 * time.Millisecond},
+		{Elapsed: 4 * time.Millisecond},
+	}}
+	if got := s.Percentile(25); got != 1*time.Millisecond {
+		t.Errorf("p25 = %v", got)
+	}
+	if got := s.Percentile(100); got != 4*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	empty := &RunStats{}
+	if empty.Mean() != 0 || empty.Median() != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Error("empty stats should be zero")
+	}
+}

@@ -1,0 +1,117 @@
+// Package bits provides word-level bit manipulation primitives used by the
+// succinct data structures in this repository: population counts, in-word
+// select, and helpers for reading and writing bit fields that straddle
+// 64-bit word boundaries.
+//
+// All functions operate on uint64 words with bit 0 being the least
+// significant bit. They are the building blocks for the rank/select
+// directories in package bitvector and the packed arrays in package intvec.
+package bits
+
+import mbits "math/bits"
+
+// Select64 returns the position (0-based, from the least significant bit) of
+// the (k+1)-th set bit of w, i.e. the position p such that w has exactly k
+// ones strictly below p and bit p set. k must satisfy 0 <= k < OnesCount(w);
+// otherwise the result is 64.
+//
+// The implementation narrows the search byte by byte using cumulative
+// popcounts, then finishes with a small table-free scan inside the byte.
+func Select64(w uint64, k int) int {
+	if k < 0 || k >= mbits.OnesCount64(w) {
+		return 64
+	}
+	// Narrow to the byte containing the target bit.
+	base := 0
+	for {
+		c := mbits.OnesCount8(uint8(w))
+		if k < c {
+			break
+		}
+		k -= c
+		w >>= 8
+		base += 8
+	}
+	// Scan within the byte.
+	b := uint8(w)
+	for i := 0; i < 8; i++ {
+		if b&(1<<uint(i)) != 0 {
+			if k == 0 {
+				return base + i
+			}
+			k--
+		}
+	}
+	return 64 // unreachable for valid input
+}
+
+// Select64Zero returns the position of the (k+1)-th zero bit of w, or 64 if
+// w has fewer than k+1 zeros.
+func Select64Zero(w uint64, k int) int {
+	return Select64(^w, k)
+}
+
+// ReadBits reads width bits (1..64) starting at absolute bit offset pos from
+// the word slice data. Bits beyond the end of data are read as zero.
+func ReadBits(data []uint64, pos uint64, width uint) uint64 {
+	if width == 0 {
+		return 0
+	}
+	wordIdx := pos >> 6
+	bitIdx := uint(pos & 63)
+	if wordIdx >= uint64(len(data)) {
+		return 0
+	}
+	v := data[wordIdx] >> bitIdx
+	got := 64 - bitIdx
+	if got < width && wordIdx+1 < uint64(len(data)) {
+		v |= data[wordIdx+1] << got
+	}
+	if width == 64 {
+		return v
+	}
+	return v & ((uint64(1) << width) - 1)
+}
+
+// WriteBits writes the width (1..64) low bits of v at absolute bit offset
+// pos into data. The caller must ensure data is large enough.
+func WriteBits(data []uint64, pos uint64, width uint, v uint64) {
+	if width == 0 {
+		return
+	}
+	if width < 64 {
+		v &= (uint64(1) << width) - 1
+	}
+	wordIdx := pos >> 6
+	bitIdx := uint(pos & 63)
+	data[wordIdx] &^= maskAt(bitIdx, width)
+	data[wordIdx] |= v << bitIdx
+	if spill := bitIdx + width; spill > 64 {
+		rem := spill - 64
+		data[wordIdx+1] &^= (uint64(1) << rem) - 1
+		data[wordIdx+1] |= v >> (64 - bitIdx)
+	}
+}
+
+// maskAt returns a mask with width bits set starting at bit offset off,
+// truncated at the word boundary.
+func maskAt(off, width uint) uint64 {
+	if width >= 64 {
+		return ^uint64(0) << off
+	}
+	return ((uint64(1) << width) - 1) << off
+}
+
+// WordsFor returns the number of 64-bit words needed to hold n bits.
+func WordsFor(n uint64) int {
+	return int((n + 63) / 64)
+}
+
+// Len returns the number of bits needed to represent v (Len(0) == 1, so a
+// packed array of zeros still has nonzero width).
+func Len(v uint64) uint {
+	if v == 0 {
+		return 1
+	}
+	return uint(mbits.Len64(v))
+}

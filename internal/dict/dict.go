@@ -1,0 +1,225 @@
+// Package dict implements the dictionary encoding between string constants
+// and the numeric identifiers the indexes operate on. Following the
+// paper's engineering (Section 4.1), subjects and objects share a single
+// identifier space — an entity that appears both as a subject and as an
+// object gets one ID — while predicates use a separate, smaller space.
+// Identifiers are assigned in lexicographic order, so ID comparisons agree
+// with string comparisons within each space.
+package dict
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// StringTriple is a triple over raw string constants.
+type StringTriple struct {
+	S, P, O string
+}
+
+// Dictionary maps string constants to dense numeric identifiers and back.
+type Dictionary struct {
+	so    []string // sorted; index = ID
+	p     []string // sorted; index = ID
+	soIDs map[string]graph.ID
+	pIDs  map[string]graph.ID
+}
+
+// Build constructs a dictionary from the given triples and returns it along
+// with the encoded triples (in input order; duplicates preserved).
+func Build(triples []StringTriple) (*Dictionary, []graph.Triple) {
+	soSet := map[string]struct{}{}
+	pSet := map[string]struct{}{}
+	for _, t := range triples {
+		soSet[t.S] = struct{}{}
+		soSet[t.O] = struct{}{}
+		pSet[t.P] = struct{}{}
+	}
+	d := &Dictionary{
+		so:    make([]string, 0, len(soSet)),
+		p:     make([]string, 0, len(pSet)),
+		soIDs: make(map[string]graph.ID, len(soSet)),
+		pIDs:  make(map[string]graph.ID, len(pSet)),
+	}
+	for s := range soSet {
+		d.so = append(d.so, s)
+	}
+	for s := range pSet {
+		d.p = append(d.p, s)
+	}
+	sort.Strings(d.so)
+	sort.Strings(d.p)
+	for i, s := range d.so {
+		d.soIDs[s] = graph.ID(i)
+	}
+	for i, s := range d.p {
+		d.pIDs[s] = graph.ID(i)
+	}
+	encoded := make([]graph.Triple, len(triples))
+	for i, t := range triples {
+		encoded[i] = graph.Triple{S: d.soIDs[t.S], P: d.pIDs[t.P], O: d.soIDs[t.O]}
+	}
+	return d, encoded
+}
+
+// NumSO returns the size of the subject/object space.
+func (d *Dictionary) NumSO() graph.ID { return graph.ID(len(d.so)) }
+
+// NumP returns the size of the predicate space.
+func (d *Dictionary) NumP() graph.ID { return graph.ID(len(d.p)) }
+
+// EncodeSO returns the ID of a subject/object constant.
+func (d *Dictionary) EncodeSO(s string) (graph.ID, bool) {
+	id, ok := d.soIDs[s]
+	return id, ok
+}
+
+// EncodeP returns the ID of a predicate constant.
+func (d *Dictionary) EncodeP(s string) (graph.ID, bool) {
+	id, ok := d.pIDs[s]
+	return id, ok
+}
+
+// DecodeSO returns the string of a subject/object ID.
+func (d *Dictionary) DecodeSO(id graph.ID) (string, bool) {
+	if int(id) >= len(d.so) {
+		return "", false
+	}
+	return d.so[id], true
+}
+
+// DecodeP returns the string of a predicate ID.
+func (d *Dictionary) DecodeP(id graph.ID) (string, bool) {
+	if int(id) >= len(d.p) {
+		return "", false
+	}
+	return d.p[id], true
+}
+
+// DecodeBinding renders a solution with its positions' spaces: predicate
+// variables are those listed in predVars; everything else decodes in the
+// subject/object space.
+func (d *Dictionary) DecodeBinding(b graph.Binding, predVars map[string]bool) map[string]string {
+	out := make(map[string]string, len(b))
+	for k, v := range b {
+		var s string
+		var ok bool
+		if predVars[k] {
+			s, ok = d.DecodeP(v)
+		} else {
+			s, ok = d.DecodeSO(v)
+		}
+		if !ok {
+			s = fmt.Sprintf("#%d", v)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// ParseTSV reads whitespace/tab-separated "s p o" lines (comments start
+// with '#'; blank lines ignored) into string triples.
+func ParseTSV(r io.Reader) ([]StringTriple, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []StringTriple
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("dict: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		out = append(out, StringTriple{S: fields[0], P: fields[1], O: fields[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dict: scan: %w", err)
+	}
+	return out, nil
+}
+
+// --- serialization ---
+
+const magicHdr = "RINGDICT\n"
+
+// WriteTo serializes the dictionary as a small text-framed format.
+func (d *Dictionary) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(magicHdr)); err != nil {
+		return n, err
+	}
+	if err := count(fmt.Fprintf(bw, "%d %d\n", len(d.so), len(d.p))); err != nil {
+		return n, err
+	}
+	for _, s := range d.so {
+		if err := count(fmt.Fprintf(bw, "%s\n", s)); err != nil {
+			return n, err
+		}
+	}
+	for _, s := range d.p {
+		if err := count(fmt.Fprintf(bw, "%s\n", s)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read deserializes a dictionary written by WriteTo.
+func Read(r io.Reader) (*Dictionary, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(magicHdr))
+	if _, err := io.ReadFull(br, hdr); err != nil || string(hdr) != magicHdr {
+		return nil, errors.New("dict: bad magic")
+	}
+	var nSO, nP int
+	if _, err := fmt.Fscanf(br, "%d %d\n", &nSO, &nP); err != nil {
+		return nil, fmt.Errorf("dict: bad counts: %w", err)
+	}
+	if nSO < 0 || nP < 0 {
+		return nil, errors.New("dict: negative counts")
+	}
+	d := &Dictionary{
+		soIDs: make(map[string]graph.ID, nSO),
+		pIDs:  make(map[string]graph.ID, nP),
+	}
+	readLines := func(n int) ([]string, error) {
+		out := make([]string, n)
+		for i := 0; i < n; i++ {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return nil, fmt.Errorf("dict: truncated at entry %d: %w", i, err)
+			}
+			out[i] = strings.TrimSuffix(line, "\n")
+		}
+		return out, nil
+	}
+	var err error
+	if d.so, err = readLines(nSO); err != nil {
+		return nil, err
+	}
+	if d.p, err = readLines(nP); err != nil {
+		return nil, err
+	}
+	for i, s := range d.so {
+		d.soIDs[s] = graph.ID(i)
+	}
+	for i, s := range d.p {
+		d.pIDs[s] = graph.ID(i)
+	}
+	return d, nil
+}

@@ -1,0 +1,121 @@
+package dict
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseNTriples reads the W3C N-Triples format: one triple per line,
+// `<subject> <predicate> <object> .`, where subjects are IRIs or blank
+// nodes, predicates are IRIs, and objects are IRIs, blank nodes, or
+// literals (with optional language tag or datatype). Comment lines start
+// with '#'. Terms are kept in their surface syntax (including the angle
+// brackets and quotes) so that round-tripping is loss-free; the
+// dictionary treats them as opaque strings.
+func ParseNTriples(r io.Reader) ([]StringTriple, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []StringTriple
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseNTLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("dict: line %d: %w", lineNo, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dict: scan: %w", err)
+	}
+	return out, nil
+}
+
+func parseNTLine(line string) (StringTriple, error) {
+	var t StringTriple
+	rest := line
+	var err error
+	if t.S, rest, err = ntTerm(rest, false); err != nil {
+		return t, fmt.Errorf("subject: %w", err)
+	}
+	if t.P, rest, err = ntTerm(rest, false); err != nil {
+		return t, fmt.Errorf("predicate: %w", err)
+	}
+	if !strings.HasPrefix(t.P, "<") {
+		return t, fmt.Errorf("predicate %q is not an IRI", t.P)
+	}
+	if t.O, rest, err = ntTerm(rest, true); err != nil {
+		return t, fmt.Errorf("object: %w", err)
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "." {
+		return t, fmt.Errorf("missing terminating '.' (got %q)", rest)
+	}
+	return t, nil
+}
+
+// ntTerm consumes one term from the front of s, returning it and the rest.
+func ntTerm(s string, allowLiteral bool) (string, string, error) {
+	s = strings.TrimLeft(s, " \t")
+	if s == "" {
+		return "", "", fmt.Errorf("unexpected end of line")
+	}
+	switch s[0] {
+	case '<':
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated IRI")
+		}
+		return s[:end+1], s[end+1:], nil
+	case '_':
+		if !strings.HasPrefix(s, "_:") {
+			return "", "", fmt.Errorf("malformed blank node")
+		}
+		end := strings.IndexAny(s, " \t")
+		if end < 0 {
+			return "", "", fmt.Errorf("truncated blank node")
+		}
+		return s[:end], s[end:], nil
+	case '"':
+		if !allowLiteral {
+			return "", "", fmt.Errorf("literal not allowed here")
+		}
+		// Find the closing quote, honouring backslash escapes.
+		i := 1
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return "", "", fmt.Errorf("unterminated literal")
+		}
+		end := i + 1
+		// Optional language tag or datatype.
+		if end < len(s) && s[end] == '@' {
+			for end < len(s) && s[end] != ' ' && s[end] != '\t' {
+				end++
+			}
+		} else if end+1 < len(s) && s[end] == '^' && s[end+1] == '^' {
+			close := strings.IndexByte(s[end:], '>')
+			if close < 0 {
+				return "", "", fmt.Errorf("unterminated datatype IRI")
+			}
+			end += close + 1
+		}
+		return s[:end], s[end:], nil
+	default:
+		return "", "", fmt.Errorf("unexpected term start %q", s[0])
+	}
+}

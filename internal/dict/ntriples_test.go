@@ -1,0 +1,80 @@
+package dict
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNTriplesBasic(t *testing.T) {
+	input := `# a comment
+<http://ex.org/bohr> <http://ex.org/adv> <http://ex.org/thomson> .
+_:b1 <http://ex.org/name> "Niels Bohr" .
+<http://ex.org/bohr> <http://ex.org/born> "1885"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex.org/bohr> <http://ex.org/label> "Bohr"@da .
+`
+	ts, err := ParseNTriples(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 4 {
+		t.Fatalf("parsed %d triples, want 4", len(ts))
+	}
+	if ts[0].S != "<http://ex.org/bohr>" || ts[0].O != "<http://ex.org/thomson>" {
+		t.Errorf("triple 0 = %+v", ts[0])
+	}
+	if ts[1].S != "_:b1" || ts[1].O != `"Niels Bohr"` {
+		t.Errorf("triple 1 = %+v", ts[1])
+	}
+	if ts[2].O != `"1885"^^<http://www.w3.org/2001/XMLSchema#integer>` {
+		t.Errorf("triple 2 object = %q", ts[2].O)
+	}
+	if ts[3].O != `"Bohr"@da` {
+		t.Errorf("triple 3 object = %q", ts[3].O)
+	}
+}
+
+func TestParseNTriplesEscapedQuote(t *testing.T) {
+	input := `<http://e/s> <http://e/p> "say \"hi\" now" .` + "\n"
+	ts, err := ParseNTriples(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].O != `"say \"hi\" now"` {
+		t.Errorf("object = %q", ts[0].O)
+	}
+}
+
+func TestParseNTriplesErrors(t *testing.T) {
+	cases := []string{
+		`<http://e/s> <http://e/p> <http://e/o>`,            // missing dot
+		`<http://e/s "lit" <http://e/o> .`,                  // unterminated IRI
+		`<http://e/s> "lit" <http://e/o> .`,                 // literal predicate
+		`"lit" <http://e/p> <http://e/o> .`,                 // literal subject
+		`<http://e/s> <http://e/p> "unterminated .`,         // unterminated literal
+		`<http://e/s> <http://e/p> .`,                       // missing object
+		`<http://e/s> <http://e/p> "x"^^<http://no-close .`, // bad datatype
+		`!bad <http://e/p> <http://e/o> .`,                  // junk term
+	}
+	for _, c := range cases {
+		if _, err := ParseNTriples(strings.NewReader(c + "\n")); err == nil {
+			t.Errorf("accepted malformed line %q", c)
+		}
+	}
+}
+
+func TestParseNTriplesIntoStore(t *testing.T) {
+	input := `<http://e/a> <http://e/knows> <http://e/b> .
+<http://e/b> <http://e/knows> <http://e/a> .
+`
+	ts, err := ParseNTriples(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, enc := Build(ts)
+	if d.NumSO() != 2 || d.NumP() != 1 {
+		t.Fatalf("domains = (%d,%d)", d.NumSO(), d.NumP())
+	}
+	if len(enc) != 2 {
+		t.Fatalf("encoded %d", len(enc))
+	}
+}

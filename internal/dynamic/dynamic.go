@@ -1,0 +1,401 @@
+// Package dynamic implements the update strategy the paper sketches in
+// its conclusions: the ring itself is read-only, but amortised updates
+// come from "taking the union of results over a small dynamic index
+// where new triples are added, and a constant amount of increasing
+// static rings for handling space overflows", with rings "merged
+// periodically ... to build a bigger ring".
+//
+// Concretely, a Store keeps
+//
+//   - a memtable of recent insertions, indexed on demand by the
+//     flat-trie structure (it is small, so the 6x space is negligible);
+//   - a bounded list of static rings of geometrically growing size.
+//
+// When the memtable exceeds its threshold it is frozen into a new ring;
+// when that would exceed the ring budget, the smallest rings are merged
+// (we rebuild from the union — the paper points at BWT-merging
+// algorithms as the optimised alternative). Queries run the ordinary LTJ
+// engine over a union trie-iterator whose leap is the minimum of the
+// components' leaps, preserving worst-case optimality up to the constant
+// number of components.
+//
+// Deletions are supported with rebuild semantics: deleting a triple held
+// by a static ring rebuilds that ring without it. This is expensive but
+// exact; the paper's dynamic-wavelet-tree alternative (O(log U log n)
+// updates) trades query time instead.
+package dynamic
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/flattrie"
+	"repro/internal/graph"
+	"repro/internal/ltj"
+	"repro/internal/ring"
+)
+
+// Options configures a dynamic store.
+type Options struct {
+	// MemtableThreshold is the number of buffered triples that triggers a
+	// flush into a static ring. 0 means 4096.
+	MemtableThreshold int
+	// MaxRings bounds the number of static rings ("a constant amount of
+	// increasing static rings"). 0 means 4.
+	MaxRings int
+	// Ring configures the physical representation of the static rings.
+	Ring ring.Options
+}
+
+// Store is a dynamic triple store backed by static rings.
+type Store struct {
+	opt Options
+
+	mem      []graph.Triple // unsorted recent insertions (deduplicated)
+	memSet   map[graph.Triple]struct{}
+	memIdx   *flattrie.Index // lazily rebuilt index over mem
+	memDirty bool
+
+	rings []*ring.Ring // oldest first
+	numSO graph.ID
+	numP  graph.ID
+	n     int
+}
+
+// New creates an empty dynamic store.
+func New(opt Options) *Store {
+	if opt.MemtableThreshold <= 0 {
+		opt.MemtableThreshold = 4096
+	}
+	if opt.MaxRings <= 0 {
+		opt.MaxRings = 4
+	}
+	return &Store{opt: opt, memSet: map[graph.Triple]struct{}{}}
+}
+
+// FromGraph creates a store pre-loaded with one static ring over g.
+func FromGraph(g *graph.Graph, opt Options) *Store {
+	s := New(opt)
+	if g.Len() > 0 {
+		s.rings = append(s.rings, ring.New(g, s.opt.Ring))
+		s.n = g.Len()
+	}
+	s.numSO, s.numP = g.NumSO(), g.NumP()
+	return s
+}
+
+// Len returns the number of distinct triples currently stored.
+func (s *Store) Len() int { return s.n }
+
+// Rings returns the current number of static rings (for tests and
+// monitoring).
+func (s *Store) Rings() int { return len(s.rings) }
+
+// MemtableLen returns the number of buffered triples.
+func (s *Store) MemtableLen() int { return len(s.mem) }
+
+// Contains reports whether the triple is stored.
+func (s *Store) Contains(t graph.Triple) bool {
+	if _, ok := s.memSet[t]; ok {
+		return true
+	}
+	for _, r := range s.rings {
+		if ringContains(r, t) {
+			return true
+		}
+	}
+	return false
+}
+
+func ringContains(r *ring.Ring, t graph.Triple) bool {
+	ps := r.NewPatternState(graph.TP(graph.Const(t.S), graph.Const(t.P), graph.Const(t.O)))
+	return !ps.Empty()
+}
+
+// Add inserts a triple; duplicates are ignored. Insertion cost is O(1)
+// amortised until a flush, which costs one ring construction.
+func (s *Store) Add(t graph.Triple) {
+	if s.Contains(t) {
+		return
+	}
+	s.mem = append(s.mem, t)
+	s.memSet[t] = struct{}{}
+	s.memDirty = true
+	s.n++
+	if t.S >= s.numSO {
+		s.numSO = t.S + 1
+	}
+	if t.O >= s.numSO {
+		s.numSO = t.O + 1
+	}
+	if t.P >= s.numP {
+		s.numP = t.P + 1
+	}
+	if len(s.mem) >= s.opt.MemtableThreshold {
+		s.flush()
+	}
+}
+
+// AddBatch inserts many triples.
+func (s *Store) AddBatch(ts []graph.Triple) {
+	for _, t := range ts {
+		s.Add(t)
+	}
+}
+
+// Delete removes a triple if present. Removing from the memtable is
+// cheap; removing from a static ring rebuilds that ring (exact but
+// expensive — batch deletions when possible).
+func (s *Store) Delete(t graph.Triple) bool {
+	if _, ok := s.memSet[t]; ok {
+		delete(s.memSet, t)
+		for i, m := range s.mem {
+			if m == t {
+				s.mem = append(s.mem[:i], s.mem[i+1:]...)
+				break
+			}
+		}
+		s.memDirty = true
+		s.n--
+		return true
+	}
+	for i, r := range s.rings {
+		if !ringContains(r, t) {
+			continue
+		}
+		kept := make([]graph.Triple, 0, r.Len()-1)
+		for _, u := range r.Triples() {
+			if u != t {
+				kept = append(kept, u)
+			}
+		}
+		if len(kept) == 0 {
+			s.rings = append(s.rings[:i], s.rings[i+1:]...)
+		} else {
+			g := graph.NewWithDomains(kept, s.numSO, s.numP)
+			s.rings[i] = ring.New(g, s.opt.Ring)
+		}
+		s.n--
+		return true
+	}
+	return false
+}
+
+// flush freezes the memtable into a static ring and enforces the ring
+// budget by merging the smallest rings.
+func (s *Store) flush() {
+	if len(s.mem) == 0 {
+		return
+	}
+	g := graph.NewWithDomains(s.mem, s.numSO, s.numP)
+	s.rings = append(s.rings, ring.New(g, s.opt.Ring))
+	s.mem = s.mem[:0]
+	s.memSet = map[graph.Triple]struct{}{}
+	s.memIdx = nil
+	s.memDirty = false
+	for len(s.rings) > s.opt.MaxRings {
+		s.mergeSmallest()
+	}
+}
+
+// Compact merges everything — memtable and all rings — into one ring.
+func (s *Store) Compact() {
+	all := s.allTriples()
+	s.mem = nil
+	s.memSet = map[graph.Triple]struct{}{}
+	s.memIdx = nil
+	s.memDirty = false
+	s.rings = nil
+	if len(all) > 0 {
+		g := graph.NewWithDomains(all, s.numSO, s.numP)
+		s.rings = []*ring.Ring{ring.New(g, s.opt.Ring)}
+		s.n = g.Len()
+	} else {
+		s.n = 0
+	}
+}
+
+// mergeSmallest merges the two smallest rings into one.
+func (s *Store) mergeSmallest() {
+	if len(s.rings) < 2 {
+		return
+	}
+	a, b := 0, 1
+	for i, r := range s.rings {
+		if r.Len() < s.rings[a].Len() {
+			a, b = i, a
+		} else if i != a && r.Len() < s.rings[b].Len() {
+			b = i
+		}
+	}
+	if a > b {
+		a, b = b, a
+	}
+	merged := append(s.rings[a].Triples(), s.rings[b].Triples()...)
+	g := graph.NewWithDomains(merged, s.numSO, s.numP)
+	nr := ring.New(g, s.opt.Ring)
+	// Remove b first (the larger index), then replace a.
+	s.rings = append(s.rings[:b], s.rings[b+1:]...)
+	s.rings[a] = nr
+}
+
+// allTriples materialises the full triple set (for compaction and
+// verification).
+func (s *Store) allTriples() []graph.Triple {
+	var out []graph.Triple
+	out = append(out, s.mem...)
+	for _, r := range s.rings {
+		out = append(out, r.Triples()...)
+	}
+	return out
+}
+
+// Graph exports the current contents as an immutable graph.
+func (s *Store) Graph() *graph.Graph {
+	return graph.NewWithDomains(s.allTriples(), s.numSO, s.numP)
+}
+
+// SizeBytes returns the total footprint (rings + memtable index).
+func (s *Store) SizeBytes() int {
+	total := 24*len(s.mem) + 64
+	if s.memIdx != nil {
+		total += s.memIdx.SizeBytes()
+	}
+	for _, r := range s.rings {
+		total += r.SizeBytes()
+	}
+	return total
+}
+
+// memIndex returns the (lazily rebuilt) index over the memtable.
+func (s *Store) memIndex() *flattrie.Index {
+	if s.memDirty || s.memIdx == nil {
+		s.memIdx = flattrie.New(graph.NewWithDomains(s.mem, s.numSO, s.numP))
+		s.memDirty = false
+	}
+	return s.memIdx
+}
+
+// NewPatternIter returns a union trie-iterator over the memtable and all
+// static rings, so the standard LTJ engine evaluates joins over the
+// dynamic store unchanged.
+func (s *Store) NewPatternIter(tp graph.TriplePattern) ltj.PatternIter {
+	var parts []ltj.PatternIter
+	if len(s.mem) > 0 {
+		parts = append(parts, s.memIndex().NewPatternIter(tp))
+	}
+	for _, r := range s.rings {
+		parts = append(parts, r.NewPatternState(tp))
+	}
+	return &unionIter{parts: parts}
+}
+
+// Evaluate runs LTJ over the store.
+func (s *Store) Evaluate(q graph.Pattern, opt ltj.Options) (*ltj.Result, error) {
+	return ltj.Evaluate(ltj.IndexFunc(s.NewPatternIter), q, opt)
+}
+
+// unionIter merges component trie-iterators: the components partition the
+// triple set, so counts add and leap is the minimum over components.
+type unionIter struct {
+	parts []ltj.PatternIter
+}
+
+func (u *unionIter) Count() int {
+	total := 0
+	for _, p := range u.parts {
+		total += p.Count()
+	}
+	return total
+}
+
+func (u *unionIter) Empty() bool { return u.Count() == 0 }
+
+func (u *unionIter) Leap(pos graph.Position, c graph.ID) (graph.ID, bool) {
+	best, found := graph.ID(0), false
+	for _, p := range u.parts {
+		if p.Empty() {
+			continue
+		}
+		if v, ok := p.Leap(pos, c); ok && (!found || v < best) {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+func (u *unionIter) Bind(pos graph.Position, c graph.ID) {
+	for _, p := range u.parts {
+		p.Bind(pos, c)
+	}
+}
+
+func (u *unionIter) Unbind() {
+	for _, p := range u.parts {
+		p.Unbind()
+	}
+}
+
+// CanEnumerate requires every non-empty component to support enumeration
+// at pos; the union is then a sorted merge.
+func (u *unionIter) CanEnumerate(pos graph.Position) bool {
+	for _, p := range u.parts {
+		if !p.Empty() && !p.CanEnumerate(pos) {
+			return false
+		}
+	}
+	return true
+}
+
+// Enumerate merges the components' sorted enumerations, deduplicating.
+func (u *unionIter) Enumerate(pos graph.Position, visit func(graph.ID) bool) {
+	// Collect per-component sorted streams eagerly; components are few and
+	// streams are bounded by the range sizes.
+	var streams [][]graph.ID
+	for _, p := range u.parts {
+		if p.Empty() {
+			continue
+		}
+		var vals []graph.ID
+		p.Enumerate(pos, func(c graph.ID) bool {
+			vals = append(vals, c)
+			return true
+		})
+		streams = append(streams, vals)
+	}
+	idx := make([]int, len(streams))
+	var last graph.ID
+	haveLast := false
+	for {
+		bestS := -1
+		var best graph.ID
+		for si, st := range streams {
+			if idx[si] >= len(st) {
+				continue
+			}
+			if bestS < 0 || st[idx[si]] < best {
+				bestS, best = si, st[idx[si]]
+			}
+		}
+		if bestS < 0 {
+			return
+		}
+		idx[bestS]++
+		if haveLast && best == last {
+			continue
+		}
+		last, haveLast = best, true
+		if !visit(best) {
+			return
+		}
+	}
+}
+
+// Check verifies internal invariants (for tests): the stored count
+// matches the materialised set.
+func (s *Store) Check() error {
+	g := s.Graph()
+	if g.Len() != s.n {
+		return fmt.Errorf("dynamic: count %d but %d distinct triples materialise", s.n, g.Len())
+	}
+	return nil
+}

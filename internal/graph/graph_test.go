@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestPositionCycle(t *testing.T) {
+	if PosS.Next() != PosP || PosP.Next() != PosO || PosO.Next() != PosS {
+		t.Error("Next cycle broken")
+	}
+	if PosS.Prev() != PosO || PosO.Prev() != PosP || PosP.Prev() != PosS {
+		t.Error("Prev cycle broken")
+	}
+	for _, p := range []Position{PosS, PosP, PosO} {
+		if p.Next().Prev() != p || p.Prev().Next() != p {
+			t.Errorf("Next/Prev not inverse at %v", p)
+		}
+	}
+}
+
+func TestNewDedupsAndSorts(t *testing.T) {
+	g := New([]Triple{{3, 0, 1}, {1, 0, 2}, {3, 0, 1}, {1, 0, 2}, {2, 1, 0}})
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 after dedup", g.Len())
+	}
+	ts := g.Triples()
+	for i := 1; i < len(ts); i++ {
+		a, b := ts[i-1], ts[i]
+		if a.S > b.S || (a.S == b.S && a.P > b.P) || (a.S == b.S && a.P == b.P && a.O >= b.O) {
+			t.Fatalf("triples not strictly sorted at %d: %v %v", i, a, b)
+		}
+	}
+	if g.NumSO() != 4 || g.NumP() != 2 {
+		t.Errorf("domains = (%d,%d), want (4,2)", g.NumSO(), g.NumP())
+	}
+}
+
+func TestContains(t *testing.T) {
+	g := New([]Triple{{1, 0, 2}, {2, 1, 0}, {3, 0, 1}})
+	for _, tr := range g.Triples() {
+		if !g.Contains(tr) {
+			t.Errorf("Contains(%v) = false for present triple", tr)
+		}
+	}
+	for _, tr := range []Triple{{0, 0, 0}, {1, 1, 2}, {9, 0, 2}} {
+		if g.Contains(tr) {
+			t.Errorf("Contains(%v) = true for absent triple", tr)
+		}
+	}
+}
+
+func TestPatternAccessors(t *testing.T) {
+	tp := TP(Var("x"), Const(7), Var("x"))
+	if tp.NumConstants() != 1 {
+		t.Errorf("NumConstants = %d, want 1", tp.NumConstants())
+	}
+	if got := tp.Vars(); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("Vars = %v, want [x]", got)
+	}
+	if got := tp.Positions("x"); !reflect.DeepEqual(got, []Position{PosS, PosO}) {
+		t.Errorf("Positions(x) = %v", got)
+	}
+	if tp.Term(PosP).IsVar || tp.Term(PosP).Value != 7 {
+		t.Error("Term(PosP) wrong")
+	}
+}
+
+func TestPatternVarsOrder(t *testing.T) {
+	q := Pattern{
+		TP(Var("b"), Const(0), Var("a")),
+		TP(Var("a"), Const(1), Var("c")),
+	}
+	if got := q.Vars(); !reflect.DeepEqual(got, []string{"b", "a", "c"}) {
+		t.Errorf("Vars = %v, want first-use order [b a c]", got)
+	}
+}
+
+// nobelGraph builds the paper's Figure 3 graph, 0-based:
+// 0 Bohr, 1 Strutt, 2 Thomson, 3 Thorne, 4 Wheeler, 5 Nobel;
+// predicates 0 adv, 1 nom, 2 win. 13 distinct triples, as in Figure 6.
+func nobelGraph() *Graph {
+	const (
+		bohr, strutt, thomson, thorne, wheeler, nobel = 0, 1, 2, 3, 4, 5
+		adv, nom, win                                 = 0, 1, 2
+	)
+	return New([]Triple{
+		{bohr, adv, thomson},
+		{thomson, adv, strutt},
+		{wheeler, adv, bohr},
+		{thorne, adv, wheeler},
+		{nobel, nom, bohr},
+		{nobel, nom, thomson},
+		{nobel, nom, thorne},
+		{nobel, nom, wheeler},
+		{nobel, nom, strutt},
+		{nobel, win, bohr},
+		{nobel, win, thomson},
+		{nobel, win, thorne},
+		{nobel, win, strutt},
+	})
+}
+
+func TestEvaluatePaperExample(t *testing.T) {
+	// Figure 4: x --win--> y, x --nom--> z, z --adv--> y over the Nobel
+	// graph. With our 0-based ids: win=2, nom=1, adv=0.
+	g := nobelGraph()
+	q := Pattern{
+		TP(Var("x"), Const(2), Var("y")),
+		TP(Var("x"), Const(1), Var("z")),
+		TP(Var("z"), Const(0), Var("y")),
+	}
+	sols := g.Evaluate(q, 0)
+	// x is always Nobel(5); solutions pair a winner y with its nominated
+	// adviser z (z --adv--> y present, Nobel wins y, Nobel nominates z).
+	want := map[[3]ID]bool{
+		{5, 2, 0}: true, // y=Thomson, z=Bohr   (Bohr adv Thomson)
+		{5, 1, 2}: true, // y=Strutt,  z=Thomson (Thomson adv Strutt)
+		{5, 0, 4}: true, // y=Bohr,    z=Wheeler (Wheeler adv Bohr)
+	}
+	if len(sols) != len(want) {
+		t.Fatalf("got %d solutions, want %d: %v", len(sols), len(want), sols)
+	}
+	for _, b := range sols {
+		key := [3]ID{b["x"], b["y"], b["z"]}
+		if !want[key] {
+			t.Errorf("unexpected solution %v", b)
+		}
+	}
+}
+
+func TestEvaluateRepeatedVariableInPattern(t *testing.T) {
+	g := New([]Triple{{1, 0, 1}, {1, 0, 2}, {3, 1, 3}})
+	q := Pattern{TP(Var("x"), Var("p"), Var("x"))}
+	sols := g.Evaluate(q, 0)
+	if len(sols) != 2 {
+		t.Fatalf("got %d solutions, want 2 (self-loops)", len(sols))
+	}
+	for _, b := range sols {
+		if b["x"] != 1 && b["x"] != 3 {
+			t.Errorf("unexpected x = %d", b["x"])
+		}
+	}
+}
+
+func TestEvaluateLimit(t *testing.T) {
+	g := New([]Triple{{0, 0, 0}, {1, 0, 1}, {2, 0, 2}, {3, 0, 3}})
+	q := Pattern{TP(Var("x"), Const(0), Var("y"))}
+	if got := len(g.Evaluate(q, 2)); got != 2 {
+		t.Errorf("limit 2: got %d solutions", got)
+	}
+	if got := len(g.Evaluate(q, 0)); got != 4 {
+		t.Errorf("no limit: got %d solutions", got)
+	}
+}
+
+func TestEvaluateGroundPattern(t *testing.T) {
+	g := New([]Triple{{1, 0, 2}})
+	if got := len(g.Evaluate(Pattern{TP(Const(1), Const(0), Const(2))}, 0)); got != 1 {
+		t.Errorf("present ground pattern: %d solutions, want 1", got)
+	}
+	if got := len(g.Evaluate(Pattern{TP(Const(2), Const(0), Const(1))}, 0)); got != 0 {
+		t.Errorf("absent ground pattern: %d solutions, want 0", got)
+	}
+}
+
+func TestCanonicalizeBindings(t *testing.T) {
+	bs := []Binding{{"x": 2, "y": 1}, {"x": 1, "y": 2}}
+	got := CanonicalizeBindings(bs, []string{"x", "y"})
+	if !reflect.DeepEqual(got, []string{"x=1;y=2;", "x=2;y=1;"}) {
+		t.Errorf("canonicalized = %v", got)
+	}
+}
+
+func TestBindingClone(t *testing.T) {
+	b := Binding{"x": 1}
+	c := b.Clone()
+	c["x"] = 2
+	if b["x"] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func RandomGraph(rng *rand.Rand, n int, numSO, numP ID) *Graph {
+	ts := make([]Triple, n)
+	for i := range ts {
+		ts[i] = Triple{
+			S: ID(rng.Intn(int(numSO))),
+			P: ID(rng.Intn(int(numP))),
+			O: ID(rng.Intn(int(numSO))),
+		}
+	}
+	return NewWithDomains(ts, numSO, numP)
+}
+
+func TestRandomGraphDomains(t *testing.T) {
+	g := RandomGraph(rand.New(rand.NewSource(1)), 100, 20, 3)
+	if g.NumSO() != 20 || g.NumP() != 3 {
+		t.Errorf("domains = (%d,%d), want (20,3)", g.NumSO(), g.NumP())
+	}
+	for _, tr := range g.Triples() {
+		if tr.S >= 20 || tr.O >= 20 || tr.P >= 3 {
+			t.Fatalf("triple out of domain: %v", tr)
+		}
+	}
+}

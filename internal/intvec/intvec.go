@@ -1,0 +1,171 @@
+// Package intvec provides fixed-width packed integer vectors: n values of
+// w bits each stored contiguously in ⌈nw/64⌉ words. They back the class
+// arrays of compressed bitvectors, the C arrays of the ring, and the
+// compact storage of dictionary identifiers — anywhere the paper counts
+// "n log U" bits.
+package intvec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bits"
+)
+
+// Vector is an immutable fixed-width packed integer array.
+type Vector struct {
+	data  []uint64
+	n     int
+	width uint
+}
+
+// New packs the given values using the smallest width that fits the
+// maximum value.
+func New(values []uint64) *Vector {
+	var max uint64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	return NewWidth(values, bits.Len(max))
+}
+
+// NewWidth packs the values with an explicit width (1..64 bits). It panics
+// if a value does not fit.
+func NewWidth(values []uint64, width uint) *Vector {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("intvec: width %d out of [1,64]", width))
+	}
+	v := &Vector{
+		data:  make([]uint64, bits.WordsFor(uint64(len(values))*uint64(width))),
+		n:     len(values),
+		width: width,
+	}
+	var limit uint64 = ^uint64(0)
+	if width < 64 {
+		limit = (uint64(1) << width) - 1
+	}
+	for i, val := range values {
+		if val > limit {
+			panic(fmt.Sprintf("intvec: value %d exceeds width %d", val, width))
+		}
+		bits.WriteBits(v.data, uint64(i)*uint64(width), width, val)
+	}
+	return v
+}
+
+// Len returns the number of values.
+func (v *Vector) Len() int { return v.n }
+
+// Width returns the per-value width in bits.
+func (v *Vector) Width() uint { return v.width }
+
+// Get returns the i-th value.
+func (v *Vector) Get(i int) uint64 {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("intvec: Get(%d) out of range [0,%d)", i, v.n))
+	}
+	return bits.ReadBits(v.data, uint64(i)*uint64(v.width), v.width)
+}
+
+// SizeBytes returns the in-memory footprint.
+func (v *Vector) SizeBytes() int { return 8*len(v.data) + 24 }
+
+// All returns a freshly allocated unpacked copy of the values.
+func (v *Vector) All() []uint64 {
+	out := make([]uint64, v.n)
+	for i := range out {
+		out[i] = v.Get(i)
+	}
+	return out
+}
+
+// SearchPrefix performs a binary search over a vector whose values are
+// non-decreasing, returning the smallest index i with Get(i) >= x, or
+// Len() if none.
+func (v *Vector) SearchPrefix(x uint64) int {
+	lo, hi := 0, v.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v.Get(mid) < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+const magic = uint64(0x52494e47495643) // "RINGIVC"
+
+// WriteTo serializes the vector.
+func (v *Vector) WriteTo(w io.Writer) (int64, error) {
+	n := int64(0)
+	hdr := make([]byte, 32)
+	putU64 := func(off int, x uint64) {
+		for i := 0; i < 8; i++ {
+			hdr[off+i] = byte(x >> (8 * i))
+		}
+	}
+	putU64(0, magic)
+	putU64(8, uint64(v.n))
+	putU64(16, uint64(v.width))
+	putU64(24, uint64(len(v.data)))
+	k, err := w.Write(hdr)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	buf := make([]byte, 8)
+	for _, word := range v.data {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(word >> (8 * i))
+		}
+		k, err = w.Write(buf)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Read deserializes a vector written by WriteTo.
+func Read(r io.Reader) (*Vector, error) {
+	hdr := make([]byte, 32)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("intvec: short header: %w", err)
+	}
+	getU64 := func(off int) uint64 {
+		var x uint64
+		for i := 0; i < 8; i++ {
+			x |= uint64(hdr[off+i]) << (8 * i)
+		}
+		return x
+	}
+	if getU64(0) != magic {
+		return nil, errors.New("intvec: bad magic")
+	}
+	v := &Vector{n: int(getU64(8)), width: uint(getU64(16))}
+	nWords := int(getU64(24))
+	if v.width < 1 || v.width > 64 || v.n < 0 ||
+		nWords != bits.WordsFor(uint64(v.n)*uint64(v.width)) {
+		return nil, fmt.Errorf("intvec: corrupt header (n=%d width=%d words=%d)", v.n, v.width, nWords)
+	}
+	// Append as reads succeed so forged headers on short streams fail
+	// before allocating the claimed size.
+	buf := make([]byte, 8)
+	for i := 0; i < nWords; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("intvec: short data: %w", err)
+		}
+		var x uint64
+		for j := 0; j < 8; j++ {
+			x |= uint64(buf[j]) << (8 * j)
+		}
+		v.data = append(v.data, x)
+	}
+	return v, nil
+}

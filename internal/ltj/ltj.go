@@ -1,0 +1,374 @@
+// Package ltj implements the Leapfrog TrieJoin algorithm (Algorithm 1 of
+// the paper, after Veldhuizen 2014) over an abstract trie-iterator
+// interface, together with the paper's engineering refinements:
+//
+//   - the variable elimination order of Section 4.3: variables appearing
+//     in several triple patterns are eliminated by increasing minimum
+//     cardinality, preferring variables connected to those already chosen,
+//     using the on-the-fly statistics the index provides;
+//   - the lonely-variables optimisation of Section 4.2: variables that
+//     appear in a single triple pattern are eliminated last by enumerating
+//     the distinct values of the pattern's remaining range, rather than by
+//     repeated leaps;
+//   - result limits and timeouts, as used in the paper's benchmarks.
+//
+// Any index that can implement PatternIter — the ring, flat tries, B+-tree
+// orders — plugs into the same engine, so the experiments compare indexing
+// schemes, not join implementations.
+package ltj
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// PatternIter is the per-triple-pattern trie-iterator interface
+// (Definition 2.1, extended with explicit binding state). Implementations
+// maintain the set of triples matching one pattern under a stack of
+// position bindings.
+type PatternIter interface {
+	// Count returns the number of triples currently matching. It backs the
+	// cardinality statistics used for the variable elimination order.
+	Count() int
+	// Empty reports whether no triples currently match.
+	Empty() bool
+	// Leap returns the smallest constant >= c that can bind position pos
+	// while keeping the pattern non-empty, or ok=false if none exists.
+	// pos must be unbound.
+	Leap(pos graph.Position, c graph.ID) (graph.ID, bool)
+	// Bind fixes pos to c, narrowing the match set (possibly to empty).
+	Bind(pos graph.Position, c graph.ID)
+	// Unbind undoes the most recent Bind.
+	Unbind()
+	// CanEnumerate reports whether Enumerate is supported for pos under
+	// the current bindings.
+	CanEnumerate(pos graph.Position) bool
+	// Enumerate visits the distinct values that can bind pos, in
+	// increasing order, stopping early if visit returns false.
+	Enumerate(pos graph.Position, visit func(graph.ID) bool)
+}
+
+// Index creates trie-iterators for triple patterns.
+type Index interface {
+	NewPatternIter(tp graph.TriplePattern) PatternIter
+}
+
+// IndexFunc adapts a function to the Index interface.
+type IndexFunc func(tp graph.TriplePattern) PatternIter
+
+// NewPatternIter calls f.
+func (f IndexFunc) NewPatternIter(tp graph.TriplePattern) PatternIter { return f(tp) }
+
+// Options controls one evaluation.
+type Options struct {
+	// Limit caps the number of solutions reported; 0 means unlimited.
+	// The paper's WGPB benchmark uses 1000.
+	Limit int
+	// Timeout aborts the evaluation after the given duration; 0 disables.
+	// The paper uses 10 minutes.
+	Timeout time.Duration
+	// Order forces an explicit variable elimination order (every variable
+	// of the query must appear exactly once). Nil selects the automatic
+	// order of Section 4.3.
+	Order []string
+	// DisableLonely turns off the lonely-variables optimisation
+	// (ablation; Section 4.2).
+	DisableLonely bool
+	// DisableOrderHeuristic uses the query's first-use variable order
+	// instead of the cardinality-based order (ablation; Section 4.3).
+	DisableOrderHeuristic bool
+}
+
+// ErrTimeout is returned (wrapped in Result.Err) when the evaluation
+// exceeded Options.Timeout. The solutions found so far are still returned.
+var ErrTimeout = errors.New("ltj: evaluation timed out")
+
+// Result is the outcome of an evaluation.
+type Result struct {
+	Solutions []graph.Binding
+	// TimedOut is set when the evaluation stopped due to Options.Timeout.
+	TimedOut bool
+	// Elapsed is the wall-clock evaluation time (excluding iterator setup
+	// performed by the caller).
+	Elapsed time.Duration
+	// Stats counts the index operations the evaluation performed.
+	Stats EvalStats
+}
+
+// EvalStats counts the trie-iterator operations of one evaluation; the
+// ablation benchmarks use them to show, machine-independently, how the
+// Section 4.2/4.3 optimisations cut work.
+type EvalStats struct {
+	// Leaps is the number of Leap calls issued.
+	Leaps int
+	// Binds is the number of Bind calls issued.
+	Binds int
+	// Enumerations is the number of values produced through the
+	// lonely-variable fast path.
+	Enumerations int
+	// Seeks is the number of seek() intersections run.
+	Seeks int
+}
+
+// Evaluate runs LTJ for the basic graph pattern q over the index and
+// collects solutions. See Stream for the streaming variant.
+func Evaluate(idx Index, q graph.Pattern, opt Options) (*Result, error) {
+	res := &Result{}
+	start := time.Now()
+	err := StreamStats(idx, q, opt, &res.Stats, func(b graph.Binding) bool {
+		res.Solutions = append(res.Solutions, b.Clone())
+		return opt.Limit <= 0 || len(res.Solutions) < opt.Limit
+	})
+	res.Elapsed = time.Since(start)
+	if errors.Is(err, ErrTimeout) {
+		res.TimedOut = true
+		err = nil
+	}
+	return res, err
+}
+
+// Stream runs LTJ and calls emit for every solution, reusing one Binding
+// value (callers must clone to retain it). emit returning false stops the
+// evaluation. Stream returns ErrTimeout if the deadline was exceeded.
+func Stream(idx Index, q graph.Pattern, opt Options, emit func(graph.Binding) bool) error {
+	var st EvalStats
+	return StreamStats(idx, q, opt, &st, emit)
+}
+
+// StreamStats is Stream with operation counting into stats.
+func StreamStats(idx Index, q graph.Pattern, opt Options, stats *EvalStats, emit func(graph.Binding) bool) error {
+	if len(q) == 0 {
+		return nil
+	}
+	e := &evaluator{opt: opt, emit: emit, stats: stats}
+	if opt.Timeout > 0 {
+		e.deadline = time.Now().Add(opt.Timeout)
+	}
+
+	// Create one iterator per pattern; constants are bound at creation
+	// (Lemma 3.6), so fully-constant patterns reduce to emptiness checks.
+	for _, tp := range q {
+		it := idx.NewPatternIter(tp)
+		if len(tp.Vars()) == 0 {
+			if it.Empty() {
+				return nil // an unsatisfied ground pattern kills the query
+			}
+			continue
+		}
+		if it.Empty() {
+			return nil
+		}
+		e.pats = append(e.pats, patternEntry{tp: tp, it: it})
+	}
+	if len(e.pats) == 0 {
+		// All patterns ground and satisfied: the single empty solution.
+		emit(graph.Binding{})
+		return nil
+	}
+
+	order, err := e.chooseOrder(q)
+	if err != nil {
+		return err
+	}
+	e.order = order
+	e.binding = graph.Binding{}
+
+	// Precompute, per variable, which iterators mention it and where.
+	e.varIters = make([][]iterVar, len(order))
+	for j, name := range order {
+		for i := range e.pats {
+			pos := e.pats[i].tp.Positions(name)
+			if len(pos) > 0 {
+				e.varIters[j] = append(e.varIters[j], iterVar{it: e.pats[i].it, positions: pos})
+			}
+		}
+		if len(e.varIters[j]) == 0 {
+			return fmt.Errorf("ltj: variable %q not in query", name)
+		}
+	}
+	return e.search(0)
+}
+
+type patternEntry struct {
+	tp graph.TriplePattern
+	it PatternIter
+}
+
+type iterVar struct {
+	it        PatternIter
+	positions []graph.Position
+}
+
+type evaluator struct {
+	opt      Options
+	emit     func(graph.Binding) bool
+	pats     []patternEntry
+	order    []string
+	varIters [][]iterVar
+	binding  graph.Binding
+	deadline time.Time
+	ticks    int
+	stopped  bool // emit returned false
+	stats    *EvalStats
+}
+
+// checkDeadline polls the clock every few hundred steps.
+func (e *evaluator) checkDeadline() error {
+	if e.deadline.IsZero() {
+		return nil
+	}
+	e.ticks++
+	if e.ticks&255 == 0 && time.Now().After(e.deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// search implements leapfrog_search(μ, j) of Algorithm 1.
+func (e *evaluator) search(j int) error {
+	if j == len(e.order) {
+		if !e.emit(e.binding) {
+			e.stopped = true
+		}
+		return nil
+	}
+	name := e.order[j]
+	ivs := e.varIters[j]
+
+	// Lonely-variable fast path (Section 4.2): a variable in exactly one
+	// pattern, at one position, whose iterator can enumerate that position.
+	if !e.opt.DisableLonely && len(ivs) == 1 && len(ivs[0].positions) == 1 &&
+		ivs[0].it.CanEnumerate(ivs[0].positions[0]) {
+		iv := ivs[0]
+		pos := iv.positions[0]
+		var rerr error
+		iv.it.Enumerate(pos, func(c graph.ID) bool {
+			if rerr = e.checkDeadline(); rerr != nil {
+				return false
+			}
+			e.stats.Enumerations++
+			e.stats.Binds++
+			iv.it.Bind(pos, c)
+			e.binding[name] = c
+			rerr = e.search(j + 1)
+			delete(e.binding, name)
+			iv.it.Unbind()
+			return rerr == nil && !e.stopped
+		})
+		return rerr
+	}
+
+	// General seek loop (the while loop of leapfrog_search).
+	c := graph.ID(0)
+	for {
+		if err := e.checkDeadline(); err != nil {
+			return err
+		}
+		v, ok, err := e.seek(ivs, c)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		// Bind v in every iterator at every occurrence.
+		bound := 0
+		alive := true
+		for _, iv := range ivs {
+			for _, pos := range iv.positions {
+				e.stats.Binds++
+				iv.it.Bind(pos, v)
+				bound++
+			}
+			if iv.it.Empty() {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			e.binding[name] = v
+			err = e.search(j + 1)
+			delete(e.binding, name)
+		}
+		// Unwind this variable's bindings (also on error paths).
+		for _, iv := range ivs {
+			for range iv.positions {
+				if bound == 0 {
+					break
+				}
+				iv.it.Unbind()
+				bound--
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if e.stopped {
+			return nil
+		}
+		if v == ^graph.ID(0) {
+			return nil
+		}
+		c = v + 1
+	}
+}
+
+// seek implements seek(μ, j, c) of Algorithm 1: the leapfrog intersection.
+// It repeatedly leaps every iterator to the current candidate until all
+// agree, or some iterator is exhausted.
+func (e *evaluator) seek(ivs []iterVar, c graph.ID) (graph.ID, bool, error) {
+	e.stats.Seeks++
+	for {
+		if err := e.checkDeadline(); err != nil {
+			return 0, false, err
+		}
+		allEqual := true
+		for _, iv := range ivs {
+			v, ok := e.leapVar(iv, c)
+			if !ok {
+				return 0, false, nil
+			}
+			if v != c {
+				c = v
+				allEqual = false
+			}
+		}
+		if allEqual {
+			return c, true, nil
+		}
+	}
+}
+
+// leapVar leaps one iterator for one variable. A variable occurring at
+// several positions of the same pattern is handled by leap-then-verify:
+// candidates from the first occurrence are checked by binding every
+// occurrence, per the engineering note in DESIGN.md.
+func (e *evaluator) leapVar(iv iterVar, c graph.ID) (graph.ID, bool) {
+	e.stats.Leaps++
+	if len(iv.positions) == 1 {
+		return iv.it.Leap(iv.positions[0], c)
+	}
+	for {
+		v, ok := iv.it.Leap(iv.positions[0], c)
+		if !ok {
+			return 0, false
+		}
+		for _, pos := range iv.positions {
+			iv.it.Bind(pos, v)
+		}
+		empty := iv.it.Empty()
+		for range iv.positions {
+			iv.it.Unbind()
+		}
+		if !empty {
+			return v, true
+		}
+		if v == ^graph.ID(0) {
+			return 0, false
+		}
+		c = v + 1
+	}
+}

@@ -1,0 +1,173 @@
+package ltj
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// chooseOrder computes the variable elimination order.
+//
+// Following Section 4.3, variables that appear in more than one triple
+// pattern ("join variables") are eliminated first, by increasing minimum
+// cardinality c_min(x) = min over patterns mentioning x of the pattern's
+// current match count, preferring at each step a variable that shares a
+// pattern with one already ordered. Lonely variables (appearing in exactly
+// one pattern, at one position) come last, grouped by pattern and ordered
+// along the pattern's backward chain so the index can enumerate them
+// (Section 4.2).
+func (e *evaluator) chooseOrder(q graph.Pattern) ([]string, error) {
+	// Collect the variables of the live (non-ground) patterns.
+	var vars []string
+	seen := map[string]bool{}
+	for i := range e.pats {
+		for _, v := range e.pats[i].tp.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+
+	if e.opt.Order != nil {
+		if len(e.opt.Order) != len(vars) {
+			return nil, fmt.Errorf("ltj: explicit order has %d variables, query has %d",
+				len(e.opt.Order), len(vars))
+		}
+		for _, v := range e.opt.Order {
+			if !seen[v] {
+				return nil, fmt.Errorf("ltj: explicit order mentions unknown variable %q", v)
+			}
+			delete(seen, v)
+		}
+		return e.opt.Order, nil
+	}
+	if e.opt.DisableOrderHeuristic {
+		return vars, nil
+	}
+
+	// Classify variables: lonely = exactly one pattern, exactly one position.
+	patsOf := map[string][]int{}
+	for i := range e.pats {
+		for _, v := range e.pats[i].tp.Vars() {
+			patsOf[v] = append(patsOf[v], i)
+		}
+	}
+	lonely := map[string]bool{}
+	for _, v := range vars {
+		ps := patsOf[v]
+		if len(ps) == 1 && len(e.pats[ps[0]].tp.Positions(v)) == 1 {
+			lonely[v] = true
+		}
+	}
+
+	// Order the join variables by increasing c_min with a connectivity
+	// preference.
+	var joinVars []string
+	for _, v := range vars {
+		if !lonely[v] {
+			joinVars = append(joinVars, v)
+		}
+	}
+	cmin := map[string]int{}
+	for _, v := range joinVars {
+		best := math.MaxInt
+		for _, pi := range patsOf[v] {
+			if c := e.pats[pi].it.Count(); c < best {
+				best = c
+			}
+		}
+		cmin[v] = best
+	}
+	inPattern := map[string]map[int]bool{}
+	for _, v := range joinVars {
+		inPattern[v] = map[int]bool{}
+		for _, pi := range patsOf[v] {
+			inPattern[v][pi] = true
+		}
+	}
+
+	var order []string
+	chosenPats := map[int]bool{}
+	remaining := append([]string(nil), joinVars...)
+	for len(remaining) > 0 {
+		bestIdx, bestCost, bestConn := -1, math.MaxInt, false
+		for i, v := range remaining {
+			conn := false
+			for pi := range inPattern[v] {
+				if chosenPats[pi] {
+					conn = true
+					break
+				}
+			}
+			if len(order) == 0 {
+				conn = true // no connectivity constraint for the first pick
+			}
+			// Prefer connected variables; among equals, smaller c_min wins;
+			// ties break by query order (stable since we scan in order).
+			if (conn && !bestConn) || (conn == bestConn && cmin[v] < bestCost) {
+				bestIdx, bestCost, bestConn = i, cmin[v], conn
+			}
+		}
+		v := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		order = append(order, v)
+		for pi := range inPattern[v] {
+			chosenPats[pi] = true
+		}
+	}
+
+	// Append lonely variables, per pattern, along the backward chain from
+	// the pattern's bound run so that Enumerate applies at each step.
+	for i := range e.pats {
+		order = append(order, lonelyChain(e.pats[i].tp, lonely)...)
+	}
+	return order, nil
+}
+
+// lonelyChain returns the pattern's lonely variables ordered so that each
+// one is backward-adjacent to the bound run when its turn comes. The run
+// at that time consists of the pattern's constants and join-variable
+// positions; the chain proceeds from the run start cyclically backward.
+// With an empty run the chain starts at the subject (bound by a leap) and
+// proceeds backward (o, then p).
+func lonelyChain(tp graph.TriplePattern, lonely map[string]bool) []string {
+	isLonely := func(pos graph.Position) bool {
+		t := tp.Term(pos)
+		return t.IsVar && lonely[t.Name]
+	}
+	bound := map[graph.Position]bool{}
+	nBound := 0
+	for _, pos := range []graph.Position{graph.PosS, graph.PosP, graph.PosO} {
+		if !isLonely(pos) {
+			bound[pos] = true
+			nBound++
+		}
+	}
+	var chain []graph.Position
+	switch nBound {
+	case 3:
+		return nil
+	case 0:
+		// Bind the subject first, then backward: o, p.
+		chain = []graph.Position{graph.PosS, graph.PosO, graph.PosP}
+	default:
+		// Run start: the bound position whose predecessor is unbound.
+		var start graph.Position
+		for _, pos := range []graph.Position{graph.PosS, graph.PosP, graph.PosO} {
+			if bound[pos] && !bound[pos.Prev()] {
+				start = pos
+				break
+			}
+		}
+		for pos := start.Prev(); !bound[pos]; pos = pos.Prev() {
+			chain = append(chain, pos)
+		}
+	}
+	var out []string
+	for _, pos := range chain {
+		out = append(out, tp.Term(pos).Name)
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package orders
+
+import (
+	"testing"
+)
+
+func TestFormulaClasses(t *testing.T) {
+	// W and CW have closed forms (Theorem 6.2), TW as well.
+	cases := []struct {
+		c    Class
+		d    int
+		want int
+	}{
+		{W, 2, 2}, {W, 3, 6}, {W, 4, 24}, {W, 5, 120}, {W, 6, 720}, {W, 7, 5040}, {W, 8, 40320},
+		{CW, 3, 2}, {CW, 4, 6}, {CW, 5, 24}, {CW, 6, 120}, {CW, 7, 720}, {CW, 8, 5040},
+		{TW, 2, 2}, {TW, 3, 6}, {TW, 4, 12}, {TW, 5, 30}, {TW, 6, 60}, {TW, 7, 140}, {TW, 8, 280},
+	}
+	for _, c := range cases {
+		got := Count(c.c, c.d, 0)
+		if !got.Exact || got.Upper != c.want {
+			t.Errorf("Count(%v, %d) = %+v, want exact %d", c.c, c.d, got, c.want)
+		}
+	}
+}
+
+func TestRingNeedsOneOrderForTriples(t *testing.T) {
+	// The headline claim: for d=3 the cyclic bidirectional (switching)
+	// class needs exactly ONE order — "one ring to index them all".
+	got := Count(CBTW, 3, 0)
+	if !got.Exact || got.Upper != 1 {
+		t.Fatalf("cbtw(3) = %+v, want exact 1", got)
+	}
+	// Bidirectionality is essential: without it (CTW) two orders are
+	// needed, which is the Brisaboa et al. configuration.
+	got = Count(CTW, 3, 0)
+	if !got.Exact || got.Upper != 2 {
+		t.Fatalf("ctw(3) = %+v, want exact 2", got)
+	}
+	// And even without switching, one bidirectional cycle covers d=3.
+	got = Count(CBW, 3, 0)
+	if !got.Exact || got.Upper != 1 {
+		t.Fatalf("cbw(3) = %+v, want exact 1", got)
+	}
+}
+
+func TestSearchClassesSmallD(t *testing.T) {
+	// Paper Table 3 values for d=4 and d=5.
+	cases := []struct {
+		c    Class
+		d    int
+		want int
+	}{
+		{CTW, 4, 4}, {CBW, 4, 2}, {CBTW, 4, 2},
+		{CTW, 5, 8}, {CBW, 5, 5}, {CBTW, 5, 5},
+	}
+	for _, c := range cases {
+		got := Count(c.c, c.d, 0)
+		if got.Upper != c.want {
+			t.Errorf("Count(%v, %d) = %+v, want upper %d (paper Table 3)", c.c, c.d, got, c.want)
+		}
+		if got.Exact && got.Lower != c.want {
+			t.Errorf("Count(%v, %d) exact but lower %d != %d", c.c, c.d, got.Lower, c.want)
+		}
+	}
+}
+
+func TestSearchClassesD6Bounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("d=6 search is slow")
+	}
+	// Paper Table 3 d=6: ctw in [10,12], cbw = 10, cbtw = 7. Our search
+	// must land inside (or prove) those ranges.
+	ctw := Count(CTW, 6, 500_000)
+	if ctw.Upper < 10 || ctw.Upper > 12 {
+		t.Errorf("ctw(6) upper = %d, want within [10,12]", ctw.Upper)
+	}
+	cbw := Count(CBW, 6, 500_000)
+	if cbw.Upper < 8 || cbw.Upper > 12 {
+		t.Errorf("cbw(6) upper = %d, want near 10", cbw.Upper)
+	}
+	cbtw := Count(CBTW, 6, 500_000)
+	if cbtw.Upper < 5 || cbtw.Upper > 8 {
+		t.Errorf("cbtw(6) upper = %d, want near 7", cbtw.Upper)
+	}
+}
+
+func TestMonotoneAcrossClasses(t *testing.T) {
+	// For each d, more capable classes never need more orders:
+	// cbtw <= ctw <= tw and cbtw <= cbw <= cw.
+	for d := 3; d <= 5; d++ {
+		tw := Count(TW, d, 0).Upper
+		ctw := Count(CTW, d, 0).Upper
+		cbw := Count(CBW, d, 0).Upper
+		cbtw := Count(CBTW, d, 0).Upper
+		cw := Count(CW, d, 0).Upper
+		if cbtw > ctw || ctw > tw {
+			t.Errorf("d=%d: cbtw(%d) <= ctw(%d) <= tw(%d) violated", d, cbtw, ctw, tw)
+		}
+		if cbtw > cbw || cbw > cw {
+			t.Errorf("d=%d: cbtw(%d) <= cbw(%d) <= cw(%d) violated", d, cbtw, cbw, cw)
+		}
+	}
+}
+
+func TestLowDimensionEdge(t *testing.T) {
+	for _, c := range []Class{W, TW, CW, CTW, CBW, CBTW} {
+		got := Count(c, 1, 0)
+		if !got.Exact || got.Upper != 1 {
+			t.Errorf("Count(%v, 1) = %+v, want exact 1", c, got)
+		}
+	}
+	if got := Count(CBTW, 2, 0); !got.Exact || got.Upper != 1 {
+		t.Errorf("cbtw(2) = %+v, want exact 1", got)
+	}
+}
+
+func TestCycleCandidatesCount(t *testing.T) {
+	for d := 2; d <= 6; d++ {
+		if got := len(cyclicCandidates(d)); got != factorial(d-1) {
+			t.Errorf("d=%d: %d cycles, want %d", d, got, factorial(d-1))
+		}
+	}
+}
+
+func TestPermByRank(t *testing.T) {
+	seen := map[string]bool{}
+	d := 4
+	for r := 0; r < factorial(d); r++ {
+		p := permByRank(r, d)
+		key := ""
+		used := map[int]bool{}
+		for _, v := range p {
+			if v < 0 || v >= d || used[v] {
+				t.Fatalf("rank %d: invalid permutation %v", r, p)
+			}
+			used[v] = true
+			key += string(rune('0' + v))
+		}
+		if seen[key] {
+			t.Fatalf("rank %d: duplicate permutation %v", r, p)
+		}
+		seen[key] = true
+	}
+}
+
+func TestCoverPredicatesSpotChecks(t *testing.T) {
+	// Cycle (0,1,2,3): arc {1,2} is contiguous; forward next after (1,2)
+	// is 3, backward before is 0.
+	cycle := []int{0, 1, 2, 3}
+	d := 4
+	B := (1 << 1) | (1 << 2)
+	if !coverCTW(cycle, B*d+3, d) {
+		t.Error("CTW should cover ({1,2}, 3)")
+	}
+	if coverCTW(cycle, B*d+0, d) {
+		t.Error("CTW must not cover ({1,2}, 0) — that needs the backward direction")
+	}
+	if !coverCBTW(cycle, B*d+0, d) {
+		t.Error("CBTW should cover ({1,2}, 0)")
+	}
+	// Non-contiguous bound set {0,2} is not coverable by this cycle.
+	B = (1 << 0) | (1 << 2)
+	if coverCBTW(cycle, B*d+1, d) {
+		t.Error("CBTW must not cover non-contiguous arc {0,2}")
+	}
+}
+
+func TestCoverCBWSequences(t *testing.T) {
+	cycle := []int{0, 1, 2, 3}
+	d := 4
+	// Sequence 1,2,3,0: every prefix is an arc — covered.
+	// Sequence 0,2,1,3: prefix {0,2} not contiguous — not covered.
+	rankOf := func(seq []int) int {
+		for r := 0; r < factorial(d); r++ {
+			p := permByRank(r, d)
+			same := true
+			for i := range p {
+				if p[i] != seq[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return r
+			}
+		}
+		return -1
+	}
+	if !coverCBW(cycle, rankOf([]int{1, 2, 3, 0}), d) {
+		t.Error("CBW should cover 1,2,3,0 on cycle 0123")
+	}
+	if !coverCBW(cycle, rankOf([]int{2, 1, 3, 0}), d) {
+		t.Error("CBW should cover 2,1,3,0 (grow left then right)")
+	}
+	if coverCBW(cycle, rankOf([]int{0, 2, 1, 3}), d) {
+		t.Error("CBW must not cover 0,2,1,3")
+	}
+}
+
+func TestBackwardCoverIsComplete(t *testing.T) {
+	for d := 3; d <= 5; d++ {
+		cycles := BackwardCover(d)
+		// Exhaustively verify: every (B, a) with nonempty B has a cycle
+		// with B a contiguous arc preceded by a.
+		for B := 1; B < 1<<d; B++ {
+			if popcount(B) >= d {
+				continue
+			}
+			for a := 0; a < d; a++ {
+				if B&(1<<a) != 0 {
+					continue
+				}
+				covered := false
+				for _, cy := range cycles {
+					k := popcount(B)
+					for start := 0; start < d && !covered; start++ {
+						mask := 0
+						for j := 0; j < k; j++ {
+							mask |= 1 << cy[(start+j)%d]
+						}
+						if mask == B && cy[((start-1)+d)%d] == a {
+							covered = true
+						}
+					}
+					if covered {
+						break
+					}
+				}
+				if !covered {
+					t.Fatalf("d=%d: (B=%b, a=%d) not covered by %v", d, B, a, cycles)
+				}
+			}
+		}
+	}
+}
+
+func TestBackwardCoverForTriples(t *testing.T) {
+	// One backward-only ring is NOT enough for d=3 (that is the point of
+	// bidirectionality); the unidirectional cover needs 2 cycles.
+	cycles := BackwardCover(3)
+	if len(cycles) != 2 {
+		t.Errorf("backward cover for d=3 has %d cycles, want 2 (Brisaboa-style)", len(cycles))
+	}
+}

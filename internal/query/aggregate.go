@@ -1,0 +1,184 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ltj"
+)
+
+// AggFunc is an aggregate function over a group of solutions.
+type AggFunc int
+
+// The supported aggregates. Identifiers are dictionary codes assigned in
+// lexicographic order, so Min/Max correspond to lexicographically
+// smallest/largest constants.
+const (
+	// Count counts the solutions in the group.
+	Count AggFunc = iota
+	// CountDistinct counts the distinct values of Var in the group.
+	CountDistinct
+	// Min returns the smallest value of Var in the group.
+	Min
+	// Max returns the largest value of Var in the group.
+	Max
+)
+
+// String names the function.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case CountDistinct:
+		return "COUNT-DISTINCT"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	}
+	return fmt.Sprintf("AggFunc(%d)", int(f))
+}
+
+// Agg is one aggregate column: a function over a variable, reported
+// under the name As.
+type Agg struct {
+	Func AggFunc
+	Var  string // ignored for Count
+	As   string
+}
+
+// Aggregation is a GROUP BY query over a basic graph pattern.
+type Aggregation struct {
+	// Pattern is evaluated with the worst-case-optimal join.
+	Pattern graph.Pattern
+	// GroupBy lists the grouping variables (empty = one global group).
+	GroupBy []string
+	// Aggs are the aggregate columns (at least one).
+	Aggs []Agg
+	// Filters are applied to each solution before aggregation.
+	Filters []Filter
+	// Timeout bounds evaluation (0 = none).
+	Timeout time.Duration
+}
+
+// AggRow is one result group.
+type AggRow struct {
+	// Group holds the grouping variables' values.
+	Group graph.Binding
+	// Values holds one entry per aggregate, keyed by Agg.As.
+	Values map[string]uint64
+}
+
+type aggState struct {
+	group    graph.Binding
+	count    uint64
+	distinct []map[graph.ID]struct{}
+	min, max []graph.ID
+	seen     []bool
+}
+
+// Run evaluates the aggregation streamingly: solutions are folded into
+// per-group accumulators as the join produces them, so no solution list
+// is materialised. Groups are returned sorted by their grouping values.
+func (a Aggregation) Run(idx ltj.Index) ([]AggRow, error) {
+	if len(a.Aggs) == 0 {
+		return nil, fmt.Errorf("query: aggregation needs at least one aggregate")
+	}
+	vars := a.Pattern.Vars()
+	varSet := map[string]bool{}
+	for _, v := range vars {
+		varSet[v] = true
+	}
+	for _, v := range a.GroupBy {
+		if !varSet[v] {
+			return nil, fmt.Errorf("query: group-by variable %q not in pattern", v)
+		}
+	}
+	for i, ag := range a.Aggs {
+		if ag.As == "" {
+			return nil, fmt.Errorf("query: aggregate %d has no output name", i)
+		}
+		if ag.Func != Count && !varSet[ag.Var] {
+			return nil, fmt.Errorf("query: aggregate variable %q not in pattern", ag.Var)
+		}
+	}
+
+	groups := map[string]*aggState{}
+	err := ltj.Stream(idx, a.Pattern, ltj.Options{Timeout: a.Timeout}, func(b graph.Binding) bool {
+		for _, f := range a.Filters {
+			if !f(b) {
+				return true
+			}
+		}
+		key := bindingKey(b, a.GroupBy)
+		st := groups[key]
+		if st == nil {
+			st = &aggState{
+				group:    make(graph.Binding, len(a.GroupBy)),
+				distinct: make([]map[graph.ID]struct{}, len(a.Aggs)),
+				min:      make([]graph.ID, len(a.Aggs)),
+				max:      make([]graph.ID, len(a.Aggs)),
+				seen:     make([]bool, len(a.Aggs)),
+			}
+			for _, v := range a.GroupBy {
+				st.group[v] = b[v]
+			}
+			for i, ag := range a.Aggs {
+				if ag.Func == CountDistinct {
+					st.distinct[i] = map[graph.ID]struct{}{}
+				}
+			}
+			groups[key] = st
+		}
+		st.count++
+		for i, ag := range a.Aggs {
+			switch ag.Func {
+			case CountDistinct:
+				st.distinct[i][b[ag.Var]] = struct{}{}
+			case Min:
+				if v := b[ag.Var]; !st.seen[i] || v < st.min[i] {
+					st.min[i] = v
+				}
+				st.seen[i] = true
+			case Max:
+				if v := b[ag.Var]; !st.seen[i] || v > st.max[i] {
+					st.max[i] = v
+				}
+				st.seen[i] = true
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]AggRow, 0, len(groups))
+	for _, st := range groups {
+		row := AggRow{Group: st.group, Values: map[string]uint64{}}
+		for i, ag := range a.Aggs {
+			switch ag.Func {
+			case Count:
+				row.Values[ag.As] = st.count
+			case CountDistinct:
+				row.Values[ag.As] = uint64(len(st.distinct[i]))
+			case Min:
+				row.Values[ag.As] = uint64(st.min[i])
+			case Max:
+				row.Values[ag.As] = uint64(st.max[i])
+			}
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for _, v := range a.GroupBy {
+			if out[i].Group[v] != out[j].Group[v] {
+				return out[i].Group[v] < out[j].Group[v]
+			}
+		}
+		return false
+	})
+	return out, nil
+}

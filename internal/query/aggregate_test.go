@@ -1,0 +1,137 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+func TestAggregateCountPerGroup(t *testing.T) {
+	// Nobel graph: count edges per predicate via GROUP BY.
+	g := testutil.PaperGraph()
+	idx := ringIndex(g)
+	rows, err := Aggregation{
+		Pattern: graph.Pattern{graph.TP(graph.Var("s"), graph.Var("p"), graph.Var("o"))},
+		GroupBy: []string{"p"},
+		Aggs:    []Agg{{Func: Count, As: "n"}},
+	}.Run(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// adv(0)=4, nom(1)=5, win(2)=4, sorted by predicate id.
+	want := []uint64{4, 5, 4}
+	if len(rows) != 3 {
+		t.Fatalf("got %d groups, want 3", len(rows))
+	}
+	for i, row := range rows {
+		if row.Group["p"] != graph.ID(i) || row.Values["n"] != want[i] {
+			t.Fatalf("group %d = %+v, want count %d", i, row, want[i])
+		}
+	}
+}
+
+func TestAggregateCountDistinctMinMax(t *testing.T) {
+	g := testutil.PaperGraph()
+	idx := ringIndex(g)
+	rows, err := Aggregation{
+		Pattern: graph.Pattern{graph.TP(graph.Const(5), graph.Var("p"), graph.Var("o"))},
+		Aggs: []Agg{
+			{Func: Count, As: "edges"},
+			{Func: CountDistinct, Var: "o", As: "people"},
+			{Func: Min, Var: "o", As: "first"},
+			{Func: Max, Var: "o", As: "last"},
+		},
+	}.Run(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("global group count = %d", len(rows))
+	}
+	v := rows[0].Values
+	if v["edges"] != 9 || v["people"] != 5 || v["first"] != 0 || v["last"] != 4 {
+		t.Fatalf("values = %v", v)
+	}
+}
+
+func TestAggregateWithFilter(t *testing.T) {
+	g := testutil.PaperGraph()
+	idx := ringIndex(g)
+	rows, err := Aggregation{
+		Pattern: graph.Pattern{graph.TP(graph.Var("s"), graph.Var("p"), graph.Var("o"))},
+		GroupBy: []string{"p"},
+		Aggs:    []Agg{{Func: Count, As: "n"}},
+		Filters: []Filter{ValueIn("o", 0)}, // only edges into Bohr
+	}.Run(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bohr is the object of adv (from Wheeler), nom, win: 3 groups of 1.
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if row.Values["n"] != 1 {
+			t.Fatalf("row = %+v", row)
+		}
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	g := testutil.PaperGraph()
+	idx := ringIndex(g)
+	base := graph.Pattern{graph.TP(graph.Var("s"), graph.Var("p"), graph.Var("o"))}
+	if _, err := (Aggregation{Pattern: base}).Run(idx); err == nil {
+		t.Error("no aggregates accepted")
+	}
+	if _, err := (Aggregation{Pattern: base, GroupBy: []string{"zz"},
+		Aggs: []Agg{{Func: Count, As: "n"}}}).Run(idx); err == nil {
+		t.Error("unknown group-by accepted")
+	}
+	if _, err := (Aggregation{Pattern: base,
+		Aggs: []Agg{{Func: Min, Var: "zz", As: "m"}}}).Run(idx); err == nil {
+		t.Error("unknown aggregate variable accepted")
+	}
+	if _, err := (Aggregation{Pattern: base,
+		Aggs: []Agg{{Func: Count}}}).Run(idx); err == nil {
+		t.Error("missing output name accepted")
+	}
+}
+
+func TestAggregateAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	g := testutil.RandomGraph(rng, 200, 20, 4)
+	idx := ringIndex(g)
+	q := graph.Pattern{graph.TP(graph.Var("s"), graph.Var("p"), graph.Var("o"))}
+	rows, err := Aggregation{
+		Pattern: q,
+		GroupBy: []string{"s"},
+		Aggs: []Agg{
+			{Func: Count, As: "deg"},
+			{Func: CountDistinct, Var: "o", As: "fanout"},
+		},
+	}.Run(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := map[graph.ID]uint64{}
+	fan := map[graph.ID]map[graph.ID]bool{}
+	for _, tr := range g.Triples() {
+		deg[tr.S]++
+		if fan[tr.S] == nil {
+			fan[tr.S] = map[graph.ID]bool{}
+		}
+		fan[tr.S][tr.O] = true
+	}
+	if len(rows) != len(deg) {
+		t.Fatalf("groups = %d, want %d", len(rows), len(deg))
+	}
+	for _, row := range rows {
+		s := row.Group["s"]
+		if row.Values["deg"] != deg[s] || row.Values["fanout"] != uint64(len(fan[s])) {
+			t.Fatalf("subject %d: %v, want deg=%d fanout=%d", s, row.Values, deg[s], len(fan[s]))
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package query layers the query-language features the paper leaves to
+// future work ("support for other features of graph query languages could
+// be simply layered on top", Section 1) over the LTJ evaluation core:
+// projection, DISTINCT, per-solution filters, ORDER BY, OFFSET and LIMIT.
+// Everything composes with any ltj.Index — ring, baselines, or the
+// dynamic store.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ltj"
+)
+
+// Filter accepts or rejects one solution.
+type Filter func(graph.Binding) bool
+
+// NotEqual filters solutions where two variables are bound to the same
+// constant (e.g. to exclude degenerate triangles).
+func NotEqual(x, y string) Filter {
+	return func(b graph.Binding) bool { return b[x] != b[y] }
+}
+
+// Equal keeps solutions where two variables coincide.
+func Equal(x, y string) Filter {
+	return func(b graph.Binding) bool { return b[x] == b[y] }
+}
+
+// Less keeps solutions with b[x] < b[y] in identifier order — the usual
+// symmetry-breaking trick for counting undirected motifs once.
+func Less(x, y string) Filter {
+	return func(b graph.Binding) bool { return b[x] < b[y] }
+}
+
+// ValueIn keeps solutions where x is bound to one of the given constants.
+func ValueIn(x string, allowed ...graph.ID) Filter {
+	set := make(map[graph.ID]bool, len(allowed))
+	for _, v := range allowed {
+		set[v] = true
+	}
+	return func(b graph.Binding) bool { return set[b[x]] }
+}
+
+// Select is a query with post-processing clauses.
+type Select struct {
+	// Pattern is the basic graph pattern to evaluate.
+	Pattern graph.Pattern
+	// Project lists the variables to keep (nil keeps all).
+	Project []string
+	// Distinct deduplicates projected solutions.
+	Distinct bool
+	// Filters are conjunctive per-solution predicates, applied before
+	// projection.
+	Filters []Filter
+	// OrderBy sorts the results by the given variables ascending (applied
+	// after projection; unlisted variables do not influence the order).
+	OrderBy []string
+	// Offset skips that many results (after ordering).
+	Offset int
+	// Limit caps the result count (0 = unlimited; applied after Offset).
+	Limit int
+	// Timeout bounds evaluation (0 = none).
+	Timeout time.Duration
+}
+
+// Run evaluates the query over the index.
+//
+// Filters, projection, DISTINCT and (when no ORDER BY is present) LIMIT
+// are applied streamingly during the join, so a limited query stops as
+// soon as enough solutions are found. ORDER BY forces full
+// materialisation first.
+func (s Select) Run(idx ltj.Index) ([]graph.Binding, error) {
+	vars := s.Pattern.Vars()
+	varSet := map[string]bool{}
+	for _, v := range vars {
+		varSet[v] = true
+	}
+	project := s.Project
+	if project == nil {
+		project = vars
+	}
+	for _, v := range project {
+		if !varSet[v] {
+			return nil, fmt.Errorf("query: projected variable %q not in pattern", v)
+		}
+	}
+	for _, v := range s.OrderBy {
+		if !varSet[v] {
+			return nil, fmt.Errorf("query: order-by variable %q not in pattern", v)
+		}
+	}
+	if s.Offset < 0 {
+		return nil, fmt.Errorf("query: negative offset %d", s.Offset)
+	}
+
+	streamingLimit := 0
+	if len(s.OrderBy) == 0 && s.Limit > 0 {
+		streamingLimit = s.Offset + s.Limit
+	}
+
+	var out []graph.Binding
+	seen := map[string]bool{}
+	err := ltj.Stream(idx, s.Pattern, ltj.Options{Timeout: s.Timeout}, func(b graph.Binding) bool {
+		for _, f := range s.Filters {
+			if !f(b) {
+				return true
+			}
+		}
+		proj := make(graph.Binding, len(project))
+		for _, v := range project {
+			proj[v] = b[v]
+		}
+		if s.Distinct {
+			key := bindingKey(proj, project)
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+		}
+		out = append(out, proj)
+		return streamingLimit <= 0 || len(out) < streamingLimit
+	})
+	if err != nil {
+		return out, err
+	}
+
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(out, func(i, j int) bool {
+			for _, v := range s.OrderBy {
+				if out[i][v] != out[j][v] {
+					return out[i][v] < out[j][v]
+				}
+			}
+			return false
+		})
+	}
+	if s.Offset > 0 {
+		if s.Offset >= len(out) {
+			return nil, nil
+		}
+		out = out[s.Offset:]
+	}
+	if s.Limit > 0 && len(out) > s.Limit {
+		out = out[:s.Limit]
+	}
+	return out, nil
+}
+
+// Count evaluates the query and returns only the number of solutions
+// (respecting filters and DISTINCT, ignoring projection order clauses).
+func (s Select) Count(idx ltj.Index) (int, error) {
+	s.OrderBy = nil
+	res, err := s.Run(idx)
+	return len(res), err
+}
+
+func bindingKey(b graph.Binding, vars []string) string {
+	key := make([]byte, 0, 8*len(vars))
+	for _, v := range vars {
+		x := b[v]
+		key = append(key, byte(x), byte(x>>8), byte(x>>16), byte(x>>24), ';')
+	}
+	return string(key)
+}

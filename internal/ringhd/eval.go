@@ -1,0 +1,154 @@
+package ringhd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Term is one component of a tuple pattern: a constant or a named variable.
+type Term struct {
+	IsVar bool
+	Value Value
+	Name  string
+}
+
+// C returns a constant term.
+func C(v Value) Term { return Term{Value: v} }
+
+// V returns a variable term.
+func V(name string) Term { return Term{IsVar: true, Name: name} }
+
+// TuplePattern is a d-ary pattern. Per Theorem 6.1, a variable must not
+// repeat within one pattern (the paper shows the general case costs a
+// super-exponential factor in d); New*Query validates this.
+type TuplePattern []Term
+
+// Query is a conjunctive query over d-ary tuple patterns.
+type Query []TuplePattern
+
+// Binding is one solution.
+type Binding map[string]Value
+
+// Evaluate runs a leapfrog join over the d-ary ring, in the paper's
+// backward-only regime. limit <= 0 means unlimited.
+func (idx *Index) Evaluate(q Query, limit int) ([]Binding, error) {
+	if len(q) == 0 {
+		return nil, nil
+	}
+	type patState struct {
+		pattern TuplePattern
+		bound   map[int]Value // attribute -> value (constants + join values)
+	}
+	states := make([]*patState, 0, len(q))
+	varPats := map[string][]int{} // variable -> indices into states
+	varAttr := map[string][]int{} // parallel: attribute within that pattern
+	var vars []string
+	for pi, tp := range q {
+		if len(tp) != idx.d {
+			return nil, fmt.Errorf("ringhd: pattern %d arity %d, want %d", pi, len(tp), idx.d)
+		}
+		st := &patState{pattern: tp, bound: map[int]Value{}}
+		seen := map[string]bool{}
+		for a, t := range tp {
+			if !t.IsVar {
+				st.bound[a] = t.Value
+				continue
+			}
+			if seen[t.Name] {
+				return nil, fmt.Errorf("ringhd: variable %q repeated in pattern %d (unsupported per Theorem 6.1)", t.Name, pi)
+			}
+			seen[t.Name] = true
+			if _, ok := varPats[t.Name]; !ok {
+				vars = append(vars, t.Name)
+			}
+			varPats[t.Name] = append(varPats[t.Name], len(states))
+			varAttr[t.Name] = append(varAttr[t.Name], a)
+		}
+		states = append(states, st)
+		if idx.Count(st.bound) == 0 {
+			return nil, nil
+		}
+	}
+
+	// Variable order: increasing minimum cardinality (Section 4.3 carried
+	// over), connectivity-preferring.
+	sort.SliceStable(vars, func(i, j int) bool {
+		ci, cj := math.MaxInt, math.MaxInt
+		for _, pi := range varPats[vars[i]] {
+			if c := idx.Count(states[pi].bound); c < ci {
+				ci = c
+			}
+		}
+		for _, pi := range varPats[vars[j]] {
+			if c := idx.Count(states[pi].bound); c < cj {
+				cj = c
+			}
+		}
+		return ci < cj
+	})
+
+	var out []Binding
+	binding := Binding{}
+	var search func(j int) bool
+	search = func(j int) bool {
+		if j == len(vars) {
+			cp := make(Binding, len(binding))
+			for k, v := range binding {
+				cp[k] = v
+			}
+			out = append(out, cp)
+			return limit <= 0 || len(out) < limit
+		}
+		name := vars[j]
+		pis, ats := varPats[name], varAttr[name]
+		c := Value(0)
+		for {
+			// Leapfrog intersection across the patterns mentioning name.
+			agreed := false
+			for !agreed {
+				agreed = true
+				for k, pi := range pis {
+					v, ok := idx.Leap(states[pi].bound, ats[k], c)
+					if !ok {
+						return true // this variable is exhausted
+					}
+					if v != c {
+						c = v
+						agreed = false
+					}
+				}
+			}
+			for k, pi := range pis {
+				states[pi].bound[ats[k]] = c
+			}
+			alive := true
+			for _, pi := range pis {
+				if idx.Count(states[pi].bound) == 0 {
+					alive = false
+					break
+				}
+			}
+			if alive {
+				binding[name] = c
+				if !search(j + 1) {
+					for k, pi := range pis {
+						delete(states[pi].bound, ats[k])
+					}
+					delete(binding, name)
+					return false
+				}
+				delete(binding, name)
+			}
+			for k, pi := range pis {
+				delete(states[pi].bound, ats[k])
+			}
+			if c == math.MaxUint32 {
+				return true
+			}
+			c++
+		}
+	}
+	search(0)
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package rpq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// ParsePath parses a SPARQL-flavoured property-path expression over
+// predicate names:
+//
+//	path  := seq ('|' seq)*            alternation
+//	seq   := step ('/' step)*          concatenation
+//	step  := atom ('*' | '+' | '?')*   repetition
+//	atom  := '^' atom                  inverse
+//	       | '(' path ')'
+//	       | predicate-name
+//
+// resolve maps predicate names to identifiers; unknown names are
+// reported as errors.
+func ParsePath(s string, resolve func(string) (graph.ID, bool)) (Expr, error) {
+	p := &pathParser{input: s, resolve: resolve}
+	e, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("rpq: unexpected %q at offset %d", p.input[p.pos:], p.pos)
+	}
+	return e, nil
+}
+
+type pathParser struct {
+	input   string
+	pos     int
+	resolve func(string) (graph.ID, bool)
+}
+
+func (p *pathParser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *pathParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *pathParser) parseAlt() (Expr, error) {
+	e, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		r, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		e = Alt{e, r}
+	}
+	return e, nil
+}
+
+func (p *pathParser) parseSeq() (Expr, error) {
+	e, err := p.parseStep()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '/' {
+		p.pos++
+		r, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		e = Seq{e, r}
+	}
+	return e, nil
+}
+
+func (p *pathParser) parseStep() (Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = Star{e}
+		case '+':
+			p.pos++
+			e = Plus{e}
+		case '?':
+			p.pos++
+			e = Opt{e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *pathParser) parseAtom() (Expr, error) {
+	switch c := p.peek(); {
+	case c == '^':
+		p.pos++
+		inner, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return invert(inner)
+	case c == '(':
+		p.pos++
+		e, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("rpq: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	case c == 0:
+		return nil, fmt.Errorf("rpq: unexpected end of expression")
+	default:
+		start := p.pos
+		for p.pos < len(p.input) && !strings.ContainsRune("/|()*+?^ \t", rune(p.input[p.pos])) {
+			p.pos++
+		}
+		name := p.input[start:p.pos]
+		if name == "" {
+			return nil, fmt.Errorf("rpq: expected predicate name at offset %d", p.pos)
+		}
+		id, ok := p.resolve(name)
+		if !ok {
+			return nil, fmt.Errorf("rpq: unknown predicate %q", name)
+		}
+		return Pred{P: id}, nil
+	}
+}
+
+// invert flips the direction of an expression (^(a/b) = ^b/^a, etc.).
+func invert(e Expr) (Expr, error) {
+	switch x := e.(type) {
+	case Pred:
+		return Pred{P: x.P, Inverse: !x.Inverse}, nil
+	case Seq:
+		l, err := invert(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := invert(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{r, l}, nil
+	case Alt:
+		l, err := invert(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := invert(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return Alt{l, r}, nil
+	case Star:
+		i, err := invert(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return Star{i}, nil
+	case Plus:
+		i, err := invert(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return Plus{i}, nil
+	case Opt:
+		i, err := invert(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return Opt{i}, nil
+	default:
+		return nil, fmt.Errorf("rpq: cannot invert %T", e)
+	}
+}

@@ -1,0 +1,93 @@
+package rpq
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+func resolver(name string) (graph.ID, bool) {
+	switch name {
+	case "adv":
+		return 0, true
+	case "nom":
+		return 1, true
+	case "win":
+		return 2, true
+	}
+	return 0, false
+}
+
+func TestParsePathShapes(t *testing.T) {
+	cases := map[string]string{
+		"adv":           "0",
+		"^adv":          "^0",
+		"adv/nom":       "(0/1)",
+		"adv|win":       "(0|2)",
+		"adv*":          "(0)*",
+		"adv+":          "(0)+",
+		"adv?":          "(0)?",
+		"(adv/nom)*":    "((0/1))*",
+		"^(adv/nom)":    "(^1/^0)", // inverse distributes and reverses
+		"adv / nom|win": "((0/1)|2)",
+		"^(adv|win)+":   "((^0|^2))+",
+	}
+	for input, want := range cases {
+		e, err := ParsePath(input, resolver)
+		if err != nil {
+			t.Fatalf("ParsePath(%q): %v", input, err)
+		}
+		if e.String() != want {
+			t.Errorf("ParsePath(%q) = %s, want %s", input, e, want)
+		}
+	}
+}
+
+func TestParsePathErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "adv/", "|adv", "(adv", "adv)", "unknown", "adv//nom", "^", "()",
+	} {
+		if _, err := ParsePath(bad, resolver); err == nil {
+			t.Errorf("ParsePath(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsedPathEvaluates(t *testing.T) {
+	g := testutil.PaperGraph()
+	el := ringLister(g)
+	// Advisor ancestors of Strutt: ^adv+ from Strutt(1) climbs the chain.
+	e, err := ParsePath("^adv+", resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedIDs(Compile(e).Reach(el, 1))
+	// adv edges: 0->2, 2->1, 4->0, 3->4; inverse from 1: 2, then 0, then 4, then 3.
+	want := []graph.ID{0, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("^adv+ from Strutt = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("^adv+ from Strutt = %v, want %v", got, want)
+		}
+	}
+	// Inverted parse equals manual construction.
+	e2, _ := ParsePath("^(adv/nom)", resolver)
+	m := Path(Inv(1), Inv(0))
+	if e2.String() != m.String() {
+		t.Errorf("inverse of sequence: %s vs %s", e2, m)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// '/' binds tighter than '|': a/b|c = (a/b)|c.
+	e, err := ParsePath("adv/nom|win", resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(Alt); !ok {
+		t.Fatalf("top-level operator of a/b|c is %T, want Alt", e)
+	}
+}

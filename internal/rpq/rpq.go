@@ -1,0 +1,301 @@
+// Package rpq evaluates regular path queries (RPQs) over any indexed
+// graph — one of the query operators the paper's conclusions name as
+// future work to layer on the ring ("supporting further query operators,
+// such as projection, regular path queries, aggregation...").
+//
+// An RPQ asks for pairs of nodes connected by a path whose predicate
+// sequence matches a regular expression over edge labels, with SPARQL
+// property-path operators: concatenation, alternation, Kleene star/plus,
+// optional, and inverse edges (^p). Evaluation compiles the expression to
+// a Thompson NFA and runs a BFS over the product of the graph and the
+// automaton, using the index's sorted neighbour enumeration for the
+// transitions — exactly the access pattern the ring supports with its
+// backward-adjacent Enumerate after binding (s, p) or (p, o).
+package rpq
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ltj"
+)
+
+// Expr is a regular path expression over predicate identifiers.
+type Expr interface {
+	// addTo appends the expression's fragment to the NFA under
+	// construction, returning (start, accept) state ids.
+	addTo(n *nfa) (int, int)
+	String() string
+}
+
+// Pred matches a single edge with the given predicate, optionally
+// traversed in inverse (object to subject, SPARQL's ^p).
+type Pred struct {
+	P       graph.ID
+	Inverse bool
+}
+
+func (p Pred) String() string {
+	if p.Inverse {
+		return fmt.Sprintf("^%d", p.P)
+	}
+	return fmt.Sprintf("%d", p.P)
+}
+
+// Seq matches L followed by R.
+type Seq struct{ L, R Expr }
+
+func (s Seq) String() string { return fmt.Sprintf("(%s/%s)", s.L, s.R) }
+
+// Alt matches either L or R.
+type Alt struct{ L, R Expr }
+
+func (a Alt) String() string { return fmt.Sprintf("(%s|%s)", a.L, a.R) }
+
+// Star matches zero or more repetitions of X.
+type Star struct{ X Expr }
+
+func (s Star) String() string { return fmt.Sprintf("(%s)*", s.X) }
+
+// Plus matches one or more repetitions of X.
+type Plus struct{ X Expr }
+
+func (p Plus) String() string { return fmt.Sprintf("(%s)+", p.X) }
+
+// Opt matches X or the empty path.
+type Opt struct{ X Expr }
+
+func (o Opt) String() string { return fmt.Sprintf("(%s)?", o.X) }
+
+// Convenience constructors.
+
+// P matches predicate p forward.
+func P(p graph.ID) Expr { return Pred{P: p} }
+
+// Inv matches predicate p inverted.
+func Inv(p graph.ID) Expr { return Pred{P: p, Inverse: true} }
+
+// Path concatenates expressions.
+func Path(es ...Expr) Expr {
+	if len(es) == 0 {
+		panic("rpq: empty path")
+	}
+	e := es[0]
+	for _, x := range es[1:] {
+		e = Seq{e, x}
+	}
+	return e
+}
+
+// AnyOf alternates expressions.
+func AnyOf(es ...Expr) Expr {
+	if len(es) == 0 {
+		panic("rpq: empty alternation")
+	}
+	e := es[0]
+	for _, x := range es[1:] {
+		e = Alt{e, x}
+	}
+	return e
+}
+
+// --- Thompson NFA ---
+
+type transition struct {
+	p       graph.ID
+	inverse bool
+	to      int
+}
+
+type nfa struct {
+	eps    [][]int
+	trans  [][]transition
+	start  int
+	accept int
+}
+
+func (n *nfa) newState() int {
+	n.eps = append(n.eps, nil)
+	n.trans = append(n.trans, nil)
+	return len(n.eps) - 1
+}
+
+func (p Pred) addTo(n *nfa) (int, int) {
+	s, a := n.newState(), n.newState()
+	n.trans[s] = append(n.trans[s], transition{p: p.P, inverse: p.Inverse, to: a})
+	return s, a
+}
+
+func (sq Seq) addTo(n *nfa) (int, int) {
+	ls, la := sq.L.addTo(n)
+	rs, ra := sq.R.addTo(n)
+	n.eps[la] = append(n.eps[la], rs)
+	return ls, ra
+}
+
+func (al Alt) addTo(n *nfa) (int, int) {
+	s, a := n.newState(), n.newState()
+	ls, la := al.L.addTo(n)
+	rs, ra := al.R.addTo(n)
+	n.eps[s] = append(n.eps[s], ls, rs)
+	n.eps[la] = append(n.eps[la], a)
+	n.eps[ra] = append(n.eps[ra], a)
+	return s, a
+}
+
+func (st Star) addTo(n *nfa) (int, int) {
+	s, a := n.newState(), n.newState()
+	xs, xa := st.X.addTo(n)
+	n.eps[s] = append(n.eps[s], xs, a)
+	n.eps[xa] = append(n.eps[xa], xs, a)
+	return s, a
+}
+
+func (pl Plus) addTo(n *nfa) (int, int) {
+	s, a := n.newState(), n.newState()
+	xs, xa := pl.X.addTo(n)
+	n.eps[s] = append(n.eps[s], xs)
+	n.eps[xa] = append(n.eps[xa], xs, a)
+	return s, a
+}
+
+func (op Opt) addTo(n *nfa) (int, int) {
+	s, a := n.newState(), n.newState()
+	xs, xa := op.X.addTo(n)
+	n.eps[s] = append(n.eps[s], xs, a)
+	n.eps[xa] = append(n.eps[xa], a)
+	return s, a
+}
+
+// Compile builds the NFA of e.
+func Compile(e Expr) *NFA {
+	n := &nfa{}
+	s, a := e.addTo(n)
+	n.start, n.accept = s, a
+	return &NFA{n: n}
+}
+
+// NFA is a compiled regular path expression.
+type NFA struct{ n *nfa }
+
+// States returns the automaton size (for tests/diagnostics).
+func (a *NFA) States() int { return len(a.n.eps) }
+
+// closure adds eps-reachable states of seed into set, appending new pairs
+// to the work queue via visit.
+func (n *nfa) closure(state int, mark func(int) bool) {
+	stack := []int{state}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !mark(s) {
+			continue
+		}
+		stack = append(stack, n.eps[s]...)
+	}
+}
+
+// --- evaluation ---
+
+// EdgeLister enumerates a node's neighbours through one predicate, in
+// either direction. ltj-based indexes get an implementation via Neighbors.
+type EdgeLister interface {
+	// Neighbors calls visit for each node w such that (v, p, w) is an edge
+	// (forward) or (w, p, v) is an edge (inverse). Order is unspecified;
+	// duplicates allowed (the evaluator deduplicates).
+	Neighbors(v graph.ID, p graph.ID, inverse bool, visit func(graph.ID) bool)
+}
+
+// IndexLister adapts any ltj.Index to EdgeLister.
+type IndexLister struct{ Idx ltj.Index }
+
+// Neighbors enumerates via a two-constant pattern and the free position.
+func (il IndexLister) Neighbors(v, p graph.ID, inverse bool, visit func(graph.ID) bool) {
+	var tp graph.TriplePattern
+	var free graph.Position
+	if inverse {
+		tp = graph.TP(graph.Var("n"), graph.Const(p), graph.Const(v))
+		free = graph.PosS
+	} else {
+		tp = graph.TP(graph.Const(v), graph.Const(p), graph.Var("n"))
+		free = graph.PosO
+	}
+	it := il.Idx.NewPatternIter(tp)
+	if it.Empty() {
+		return
+	}
+	if it.CanEnumerate(free) {
+		it.Enumerate(free, visit)
+		return
+	}
+	c := graph.ID(0)
+	for {
+		w, ok := it.Leap(free, c)
+		if !ok {
+			return
+		}
+		if !visit(w) {
+			return
+		}
+		if w == ^graph.ID(0) {
+			return
+		}
+		c = w + 1
+	}
+}
+
+// Reach returns the distinct nodes reachable from src by a path matching
+// the expression, by BFS over the (node, state) product space. The result
+// is not sorted.
+func (a *NFA) Reach(g EdgeLister, src graph.ID) []graph.ID {
+	n := a.n
+	type ns struct {
+		node  graph.ID
+		state int
+	}
+	seen := map[ns]bool{}
+	var out []graph.ID
+	accepted := map[graph.ID]bool{}
+
+	var queue []ns
+	push := func(node graph.ID, state int) {
+		n.closure(state, func(s int) bool {
+			k := ns{node, s}
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+			queue = append(queue, k)
+			if s == n.accept && !accepted[node] {
+				accepted[node] = true
+				out = append(out, node)
+			}
+			return true
+		})
+	}
+	push(src, n.start)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, tr := range n.trans[cur.state] {
+			g.Neighbors(cur.node, tr.p, tr.inverse, func(w graph.ID) bool {
+				push(w, tr.to)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// Pairs evaluates the RPQ with both endpoints free: for every source in
+// sources it computes the reachable targets. Visit is called once per
+// (source, target) pair; returning false stops the evaluation.
+func (a *NFA) Pairs(g EdgeLister, sources []graph.ID, visit func(s, t graph.ID) bool) {
+	for _, src := range sources {
+		for _, t := range a.Reach(g, src) {
+			if !visit(src, t) {
+				return
+			}
+		}
+	}
+}

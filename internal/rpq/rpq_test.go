@@ -1,0 +1,193 @@
+package rpq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ltj"
+	"repro/internal/ring"
+	"repro/internal/testutil"
+)
+
+func ringLister(g *graph.Graph) EdgeLister {
+	r := ring.New(g, ring.Options{})
+	return IndexLister{Idx: ltj.IndexFunc(func(tp graph.TriplePattern) ltj.PatternIter {
+		return r.NewPatternState(tp)
+	})}
+}
+
+// naiveReach is the oracle: BFS over (node, NFA-state) pairs using an
+// explicit adjacency representation.
+func naiveReach(g *graph.Graph, src graph.ID, e Expr) []graph.ID {
+	a := Compile(e)
+	return a.Reach(naiveLister{g}, src)
+}
+
+type naiveLister struct{ g *graph.Graph }
+
+func (nl naiveLister) Neighbors(v, p graph.ID, inverse bool, visit func(graph.ID) bool) {
+	for _, t := range nl.g.Triples() {
+		if t.P != p {
+			continue
+		}
+		if !inverse && t.S == v {
+			if !visit(t.O) {
+				return
+			}
+		}
+		if inverse && t.O == v {
+			if !visit(t.S) {
+				return
+			}
+		}
+	}
+}
+
+func sortedIDs(xs []graph.ID) []graph.ID {
+	out := append([]graph.ID(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestReachPaperGraph(t *testing.T) {
+	// Nobel graph: 0 Bohr, 1 Strutt, 2 Thomson, 3 Thorne, 4 Wheeler,
+	// 5 Nobel; predicates 0 adv, 1 nom, 2 win.
+	g := testutil.PaperGraph()
+	el := ringLister(g)
+
+	// adv+ from Thorne: the advisor chain Thorne->Wheeler->Bohr->Thomson->Strutt.
+	a := Compile(Plus{P(0)})
+	got := sortedIDs(a.Reach(el, 3))
+	want := []graph.ID{0, 1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("adv+ from Thorne = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("adv+ from Thorne = %v, want %v", got, want)
+		}
+	}
+
+	// adv* includes the source itself.
+	a = Compile(Star{P(0)})
+	got = a.Reach(el, 3)
+	if len(got) != 5 {
+		t.Fatalf("adv* from Thorne has %d nodes, want 5 (incl. source)", len(got))
+	}
+
+	// win/^nom: winners x such that Nobel → x by win then inverse nom back
+	// to Nobel... from Nobel: win then ^nom returns to Nobel only.
+	a = Compile(Path(P(2), Inv(1)))
+	got = a.Reach(el, 5)
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("win/^nom from Nobel = %v, want [5]", got)
+	}
+
+	// nom|win from Nobel: all nominees and winners.
+	a = Compile(AnyOf(P(1), P(2)))
+	got = sortedIDs(a.Reach(el, 5))
+	if len(got) != 5 {
+		t.Fatalf("nom|win from Nobel = %v, want all 5 people", got)
+	}
+
+	// Optional: adv? from Bohr = {Bohr, Thomson}.
+	a = Compile(Opt{P(0)})
+	got = sortedIDs(a.Reach(el, 0))
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("adv? from Bohr = %v", got)
+	}
+}
+
+func TestReachAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	g := testutil.RandomGraph(rng, 200, 25, 4)
+	el := ringLister(g)
+	exprs := []Expr{
+		P(0),
+		Inv(1),
+		Path(P(0), P(1)),
+		AnyOf(P(0), Inv(2)),
+		Star{P(1)},
+		Plus{AnyOf(P(0), P(1))},
+		Path(Star{P(0)}, P(2)),
+		Opt{Path(P(3), Inv(0))},
+		Path(AnyOf(P(0), P(1)), Star{P(2)}, Inv(3)),
+	}
+	for _, e := range exprs {
+		for trial := 0; trial < 20; trial++ {
+			src := graph.ID(rng.Intn(25))
+			got := sortedIDs(Compile(e).Reach(el, src))
+			want := sortedIDs(naiveReach(g, src, e))
+			if len(got) != len(want) {
+				t.Fatalf("expr %s from %d: got %v, want %v", e, src, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("expr %s from %d: got %v, want %v", e, src, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPairs(t *testing.T) {
+	g := testutil.PaperGraph()
+	el := ringLister(g)
+	a := Compile(P(0)) // adv edges
+	var pairs [][2]graph.ID
+	a.Pairs(el, []graph.ID{0, 1, 2, 3, 4, 5}, func(s, t graph.ID) bool {
+		pairs = append(pairs, [2]graph.ID{s, t})
+		return true
+	})
+	if len(pairs) != 4 {
+		t.Fatalf("adv pairs = %v, want the 4 adv edges", pairs)
+	}
+	// Early stop.
+	n := 0
+	a.Pairs(el, []graph.ID{0, 1, 2, 3, 4, 5}, func(s, t graph.ID) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early stop visited %d pairs", n)
+	}
+}
+
+func TestCycleTermination(t *testing.T) {
+	// A directed cycle with a star expression must terminate.
+	g := graph.New([]graph.Triple{
+		{S: 0, P: 0, O: 1}, {S: 1, P: 0, O: 2}, {S: 2, P: 0, O: 0},
+	})
+	el := ringLister(g)
+	got := sortedIDs(Compile(Star{P(0)}).Reach(el, 0))
+	if len(got) != 3 {
+		t.Fatalf("p* over a cycle = %v, want 3 nodes", got)
+	}
+}
+
+func TestEmptyConstructorsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { Path() },
+		func() { AnyOf() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("empty constructor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStatesCount(t *testing.T) {
+	if Compile(P(0)).States() != 2 {
+		t.Error("single predicate NFA should have 2 states")
+	}
+	if Compile(Path(P(0), P(1))).States() != 4 {
+		t.Error("concatenation NFA should have 4 states")
+	}
+}

@@ -1,0 +1,213 @@
+// Package testutil provides shared helpers for the test suites of the ring
+// and the baseline indexes: random graph generation, random basic-graph-
+// pattern generation covering every constant/variable shape, and oracle
+// comparison against the naive evaluator.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"repro/internal/graph"
+)
+
+// RandomGraph generates n random triples over the given domains (duplicates
+// collapse, so the result may be smaller than n).
+func RandomGraph(rng *rand.Rand, n int, numSO, numP graph.ID) *graph.Graph {
+	ts := make([]graph.Triple, n)
+	for i := range ts {
+		ts[i] = graph.Triple{
+			S: graph.ID(rng.Intn(int(numSO))),
+			P: graph.ID(rng.Intn(int(numP))),
+			O: graph.ID(rng.Intn(int(numSO))),
+		}
+	}
+	return graph.NewWithDomains(ts, numSO, numP)
+}
+
+// RandomTerm returns a constant with probability pConst, else one of the
+// variable names. Constants are drawn from the domain but biased towards
+// values present in the graph when biasTriples is non-empty.
+func randomTerm(rng *rand.Rand, pos graph.Position, g *graph.Graph, vars []string, pConst float64) graph.Term {
+	if rng.Float64() < pConst {
+		ts := g.Triples()
+		if len(ts) > 0 && rng.Float64() < 0.8 {
+			t := ts[rng.Intn(len(ts))]
+			switch pos {
+			case graph.PosS:
+				return graph.Const(t.S)
+			case graph.PosP:
+				return graph.Const(t.P)
+			default:
+				return graph.Const(t.O)
+			}
+		}
+		if pos == graph.PosP {
+			return graph.Const(graph.ID(rng.Intn(int(g.NumP()))))
+		}
+		return graph.Const(graph.ID(rng.Intn(int(g.NumSO()))))
+	}
+	return graph.Var(vars[rng.Intn(len(vars))])
+}
+
+// RandomPattern generates a basic graph pattern with the given number of
+// triple patterns and variable pool size. Shapes cover all constant
+// placements, shared variables across patterns, and (when allowRepeats)
+// repeated variables within one pattern. Patterns after the first are
+// required to share a variable with the preceding ones (or carry at least
+// one constant), keeping the naive oracle's cross products bounded.
+func RandomPattern(rng *rand.Rand, g *graph.Graph, numTriples, numVars int, pConst float64, allowRepeats bool) graph.Pattern {
+	vars := make([]string, numVars)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("v%d", i)
+	}
+	for {
+		q := make(graph.Pattern, numTriples)
+		seen := map[string]bool{}
+		for i := range q {
+			for attempt := 0; ; attempt++ {
+				s := randomTerm(rng, graph.PosS, g, vars, pConst)
+				p := randomTerm(rng, graph.PosP, g, vars, pConst)
+				o := randomTerm(rng, graph.PosO, g, vars, pConst)
+				if attempt > 20 {
+					// Tiny variable pools can make every candidate collide
+					// (e.g. one variable and pConst = 0 forces (?v,?v,?v));
+					// force a constant predicate to guarantee progress.
+					pid := graph.ID(0)
+					if g.NumP() > 0 {
+						pid = graph.ID(rng.Intn(int(g.NumP())))
+					}
+					p = graph.Const(pid)
+				}
+				tp := graph.TP(s, p, o)
+				if !allowRepeats && hasRepeatedVar(tp) {
+					continue
+				}
+				// Avoid variables shared between the predicate position and
+				// subject/object positions: the ID spaces are disjoint, so
+				// such queries are trivially empty and uninteresting.
+				if predicateVarCollision(tp) {
+					continue
+				}
+				if i > 0 && !connectsOrConstrained(tp, seen) {
+					continue
+				}
+				q[i] = tp
+				break
+			}
+			for _, v := range q[i].Vars() {
+				seen[v] = true
+			}
+		}
+		if !crossPatternPredicateCollision(q) {
+			return q
+		}
+	}
+}
+
+// connectsOrConstrained reports whether the pattern shares a variable with
+// the already-generated ones or has at least one constant (limiting the
+// blowup of fully unconstrained cross products in the test oracle).
+func connectsOrConstrained(tp graph.TriplePattern, seen map[string]bool) bool {
+	if tp.NumConstants() > 0 {
+		return true
+	}
+	for _, v := range tp.Vars() {
+		if seen[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func hasRepeatedVar(tp graph.TriplePattern) bool {
+	for _, v := range tp.Vars() {
+		if len(tp.Positions(v)) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+func predicateVarCollision(tp graph.TriplePattern) bool {
+	if !tp.P.IsVar {
+		return false
+	}
+	return (tp.S.IsVar && tp.S.Name == tp.P.Name) || (tp.O.IsVar && tp.O.Name == tp.P.Name)
+}
+
+func crossPatternPredicateCollision(q graph.Pattern) bool {
+	predVars := map[string]bool{}
+	soVars := map[string]bool{}
+	for _, tp := range q {
+		if tp.P.IsVar {
+			predVars[tp.P.Name] = true
+		}
+		if tp.S.IsVar {
+			soVars[tp.S.Name] = true
+		}
+		if tp.O.IsVar {
+			soVars[tp.O.Name] = true
+		}
+	}
+	for v := range predVars {
+		if soVars[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// SameSolutions compares two solution multisets over the given variables,
+// returning a diagnostic string ("" when equal). Large sets are truncated
+// in the diagnostic.
+func SameSolutions(got, want []graph.Binding, vars []string) string {
+	gc := graph.CanonicalizeBindings(got, vars)
+	wc := graph.CanonicalizeBindings(want, vars)
+	if reflect.DeepEqual(gc, wc) {
+		return ""
+	}
+	trunc := func(xs []string) []string {
+		if len(xs) > 10 {
+			return xs[:10]
+		}
+		return xs
+	}
+	// Show the first differing entry for debugging.
+	firstDiff := ""
+	for i := 0; i < len(gc) && i < len(wc); i++ {
+		if gc[i] != wc[i] {
+			firstDiff = fmt.Sprintf("; first diff at %d: got %q want %q", i, gc[i], wc[i])
+			break
+		}
+	}
+	return fmt.Sprintf("got %d solutions (head %v), want %d solutions (head %v)%s",
+		len(gc), trunc(gc), len(wc), trunc(wc), firstDiff)
+}
+
+// PaperGraph builds the Nobel-laureate graph of the paper's Figure 3 with
+// ids 0 Bohr, 1 Strutt, 2 Thomson, 3 Thorne, 4 Wheeler, 5 Nobel and
+// predicates 0 adv, 1 nom, 2 win (the paper's Figure 6 mapping, 0-based).
+// It has the 13 distinct triples the paper indexes.
+func PaperGraph() *graph.Graph {
+	const (
+		bohr, strutt, thomson, thorne, wheeler, nobel = 0, 1, 2, 3, 4, 5
+		adv, nom, win                                 = 0, 1, 2
+	)
+	return graph.New([]graph.Triple{
+		{S: bohr, P: adv, O: thomson},
+		{S: thomson, P: adv, O: strutt},
+		{S: wheeler, P: adv, O: bohr},
+		{S: thorne, P: adv, O: wheeler},
+		{S: nobel, P: nom, O: bohr},
+		{S: nobel, P: nom, O: thomson},
+		{S: nobel, P: nom, O: thorne},
+		{S: nobel, P: nom, O: wheeler},
+		{S: nobel, P: nom, O: strutt},
+		{S: nobel, P: win, O: bohr},
+		{S: nobel, P: win, O: thomson},
+		{S: nobel, P: win, O: thorne},
+		{S: nobel, P: win, O: strutt},
+	})
+}

@@ -1,0 +1,454 @@
+// Package wavelet implements the wavelet matrix of Claude, Navarro and
+// Ordóñez: a pointerless wavelet tree over a sequence S[0..n) drawn from an
+// integer alphabet [0, σ). It supports the operations the ring index needs
+// (Section 2.3.4 of the paper):
+//
+//   - Access(i), Rank(c, i), Select(c, k) in O(log σ) time;
+//   - RangeNextValue (range successor): the smallest symbol ≥ c occurring
+//     in a range, in O(log σ) time — the backward leap of the ring;
+//   - DistinctInRange: enumerate the distinct symbols of a range in sorted
+//     order with their multiplicities, in O(k log(σ/k)) time — the ring's
+//     lonely-variable reporting.
+//
+// The per-level bitvectors may be plain (fast, the paper's "Ring") or
+// RRR-compressed (small, the paper's "C-Ring"); see Options.
+package wavelet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bitvector"
+)
+
+// Options selects the bitvector representation used for the matrix levels.
+type Options struct {
+	// Compress selects RRR-compressed level bitvectors when true, plain
+	// bitvectors when false.
+	Compress bool
+	// RRRBlock is the RRR block size b (the paper's parameter b; 16 for
+	// C-Ring, 64 for the archival variant). Ignored unless Compress is set;
+	// 0 means 16.
+	RRRBlock int
+}
+
+// Matrix is an immutable wavelet matrix.
+type Matrix struct {
+	levels []bitvector.Vector
+	plains []*bitvector.Plain // non-nil when every level is Plain (devirtualized fast path)
+	zeros  []int              // zeros[l]: number of 0-bits at level l
+	n      int
+	sigma  uint64
+	width  uint // number of levels = bits to code sigma-1
+}
+
+// rank1 performs a level rank through the concrete type when possible,
+// letting the hot Plain.Rank1 inline.
+func (m *Matrix) rank1(l uint, i int) int {
+	if m.plains != nil {
+		return m.plains[l].Rank1(i)
+	}
+	return m.levels[l].Rank1(i)
+}
+
+// setLevels installs the level bitvectors and the devirtualized view.
+func (m *Matrix) setLevels(levels []bitvector.Vector) {
+	m.levels = levels
+	plains := make([]*bitvector.Plain, len(levels))
+	for i, lv := range levels {
+		p, ok := lv.(*bitvector.Plain)
+		if !ok {
+			m.plains = nil
+			return
+		}
+		plains[i] = p
+	}
+	m.plains = plains
+}
+
+// New builds a wavelet matrix over values, whose symbols must lie in
+// [0, sigma). Building takes O(n log σ) time.
+func New(values []uint64, sigma uint64, opt Options) *Matrix {
+	if sigma == 0 {
+		sigma = 1
+	}
+	width := uint(1)
+	if sigma > 1 {
+		width = lenBits(sigma - 1)
+	}
+	m := &Matrix{
+		zeros: make([]int, width),
+		n:     len(values),
+		sigma: sigma,
+		width: width,
+	}
+	levels := make([]bitvector.Vector, width)
+	if opt.Compress && opt.RRRBlock == 0 {
+		opt.RRRBlock = 16
+	}
+
+	cur := make([]uint64, len(values))
+	copy(cur, values)
+	next := make([]uint64, len(values))
+	for l := uint(0); l < width; l++ {
+		shift := width - 1 - l
+		b := bitvector.NewBuilder(len(cur))
+		nz := 0
+		for i, v := range cur {
+			if v >= sigma {
+				panic(fmt.Sprintf("wavelet: value %d out of alphabet [0,%d)", v, sigma))
+			}
+			if (v>>shift)&1 == 1 {
+				b.Set(i)
+			} else {
+				nz++
+			}
+		}
+		m.zeros[l] = nz
+		if opt.Compress {
+			levels[l] = b.BuildRRR(opt.RRRBlock)
+		} else {
+			levels[l] = b.BuildPlain()
+		}
+		// Stable-partition for the next level: zeros first, then ones.
+		zi, oi := 0, nz
+		for _, v := range cur {
+			if (v>>shift)&1 == 1 {
+				next[oi] = v
+				oi++
+			} else {
+				next[zi] = v
+				zi++
+			}
+		}
+		cur, next = next, cur
+	}
+	m.setLevels(levels)
+	return m
+}
+
+func lenBits(v uint64) uint {
+	w := uint(0)
+	for v > 0 {
+		w++
+		v >>= 1
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// Len returns the sequence length.
+func (m *Matrix) Len() int { return m.n }
+
+// Sigma returns the alphabet size σ (symbols are in [0, σ)).
+func (m *Matrix) Sigma() uint64 { return m.sigma }
+
+// Access returns S[i].
+func (m *Matrix) Access(i int) uint64 {
+	if i < 0 || i >= m.n {
+		panic(fmt.Sprintf("wavelet: Access(%d) out of range [0,%d)", i, m.n))
+	}
+	var v uint64
+	for l := uint(0); l < m.width; l++ {
+		v <<= 1
+		if m.levels[l].Get(i) {
+			v |= 1
+			i = m.zeros[l] + m.rank1(l, i)
+		} else {
+			i -= m.rank1(l, i) // rank0
+		}
+	}
+	return v
+}
+
+// Rank returns the number of occurrences of c in the prefix S[0, i).
+func (m *Matrix) Rank(c uint64, i int) int {
+	if c >= m.sigma || i <= 0 {
+		return 0
+	}
+	if i > m.n {
+		i = m.n
+	}
+	s := 0
+	for l := uint(0); l < m.width; l++ {
+		if (c>>(m.width-1-l))&1 == 1 {
+			s = m.zeros[l] + m.rank1(l, s)
+			i = m.zeros[l] + m.rank1(l, i)
+		} else {
+			s -= m.rank1(l, s)
+			i -= m.rank1(l, i)
+		}
+	}
+	return i - s
+}
+
+// Rank2 returns Rank(c, i) and Rank(c, j) with one shared descent: the
+// block-start pointer is computed once instead of twice, saving a third
+// of the bitvector ranks. It is the workhorse of the ring's Bind step
+// (one LF-step needs the rank at both range endpoints).
+func (m *Matrix) Rank2(c uint64, i, j int) (int, int) {
+	if c >= m.sigma {
+		return 0, 0
+	}
+	if i < 0 {
+		i = 0
+	}
+	if j > m.n {
+		j = m.n
+	}
+	s := 0
+	for l := uint(0); l < m.width; l++ {
+		if (c>>(m.width-1-l))&1 == 1 {
+			z := m.zeros[l]
+			s = z + m.rank1(l, s)
+			i = z + m.rank1(l, i)
+			j = z + m.rank1(l, j)
+		} else {
+			s -= m.rank1(l, s)
+			i -= m.rank1(l, i)
+			j -= m.rank1(l, j)
+		}
+	}
+	return i - s, j - s
+}
+
+// Select returns the position of the k-th occurrence of c (1-based), or -1
+// if c occurs fewer than k times.
+func (m *Matrix) Select(c uint64, k int) int {
+	if c >= m.sigma || k < 1 {
+		return -1
+	}
+	// Descend with the start-of-block pointer.
+	s := 0
+	for l := uint(0); l < m.width; l++ {
+		if (c>>(m.width-1-l))&1 == 1 {
+			s = m.zeros[l] + m.rank1(l, s)
+		} else {
+			s -= m.rank1(l, s)
+		}
+	}
+	pos := s + k - 1
+	// pos must stay within c's block; verify via a rank of the full sequence.
+	if cnt := m.Rank(c, m.n); k > cnt {
+		return -1
+	}
+	// Ascend.
+	for l := int(m.width) - 1; l >= 0; l-- {
+		B := m.levels[l]
+		if (c>>(m.width-1-uint(l)))&1 == 1 {
+			pos = B.Select1(pos - m.zeros[l] + 1)
+		} else {
+			pos = B.Select0(pos + 1)
+		}
+		if pos < 0 {
+			return -1
+		}
+	}
+	return pos
+}
+
+// Count returns the number of occurrences of c in S[lo, hi).
+func (m *Matrix) Count(c uint64, lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	return m.Rank(c, hi) - m.Rank(c, lo)
+}
+
+// RangeNextValue returns the smallest symbol ≥ c occurring in S[lo, hi),
+// and whether such a symbol exists. This is the range-successor operation
+// used by the ring's backward leap (Section 3.2.2). It runs in O(log σ).
+func (m *Matrix) RangeNextValue(lo, hi int, c uint64) (uint64, bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > m.n {
+		hi = m.n
+	}
+	if lo >= hi || c >= m.sigma {
+		return 0, false
+	}
+	return m.rangeNext(0, lo, hi, 0, c, true)
+}
+
+// rangeNext finds the smallest value with the accumulated bit prefix that is
+// ≥ c (when tight) or simply the minimum of the subtree (when !tight),
+// restricted to positions [lo, hi) of the level-l sequence.
+func (m *Matrix) rangeNext(l uint, lo, hi int, prefix, c uint64, tight bool) (uint64, bool) {
+	if lo >= hi {
+		return 0, false
+	}
+	if l == m.width {
+		return prefix, true
+	}
+	r1lo, r1hi := m.rank1(l, lo), m.rank1(l, hi)
+	lo0, hi0 := lo-r1lo, hi-r1hi // rank0 via rank1
+	lo1, hi1 := m.zeros[l]+r1lo, m.zeros[l]+r1hi
+
+	if !tight {
+		// Unconstrained minimum: leftmost non-empty child wins.
+		if v, ok := m.rangeNext(l+1, lo0, hi0, prefix<<1, c, false); ok {
+			return v, ok
+		}
+		return m.rangeNext(l+1, lo1, hi1, prefix<<1|1, c, false)
+	}
+	if (c>>(m.width-1-l))&1 == 0 {
+		if v, ok := m.rangeNext(l+1, lo0, hi0, prefix<<1, c, true); ok {
+			return v, ok
+		}
+		return m.rangeNext(l+1, lo1, hi1, prefix<<1|1, c, false)
+	}
+	return m.rangeNext(l+1, lo1, hi1, prefix<<1|1, c, true)
+}
+
+// DistinctInRange calls visit once per distinct symbol occurring in
+// S[lo, hi), in increasing symbol order, with the symbol's multiplicity in
+// the range. If visit returns false the enumeration stops early.
+func (m *Matrix) DistinctInRange(lo, hi int, visit func(c uint64, count int) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > m.n {
+		hi = m.n
+	}
+	if lo >= hi {
+		return
+	}
+	m.distinct(0, lo, hi, 0, visit)
+}
+
+func (m *Matrix) distinct(l uint, lo, hi int, prefix uint64, visit func(uint64, int) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	if l == m.width {
+		return visit(prefix, hi-lo)
+	}
+	r1lo, r1hi := m.rank1(l, lo), m.rank1(l, hi)
+	if !m.distinct(l+1, lo-r1lo, hi-r1hi, prefix<<1, visit) {
+		return false
+	}
+	return m.distinct(l+1, m.zeros[l]+r1lo, m.zeros[l]+r1hi, prefix<<1|1, visit)
+}
+
+// SizeBytes returns the total in-memory footprint of the matrix.
+func (m *Matrix) SizeBytes() int {
+	total := 8*len(m.zeros) + 48
+	for _, lv := range m.levels {
+		total += lv.SizeBytes()
+	}
+	return total
+}
+
+// --- serialization ---
+
+const magic = uint64(0x52494e47574d5458) // "RINGWMTX"
+
+const (
+	tagPlain = uint64(1)
+	tagRRR   = uint64(2)
+)
+
+// WriteTo serializes the matrix, including its level bitvectors.
+func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	hdr := []uint64{magic, uint64(m.n), m.sigma, uint64(m.width)}
+	if err := writeU64s(w, &total, hdr...); err != nil {
+		return total, err
+	}
+	for l := uint(0); l < m.width; l++ {
+		if err := writeU64s(w, &total, uint64(m.zeros[l])); err != nil {
+			return total, err
+		}
+		var tag uint64 = tagPlain
+		if _, ok := m.levels[l].(*bitvector.RRR); ok {
+			tag = tagRRR
+		}
+		if err := writeU64s(w, &total, tag); err != nil {
+			return total, err
+		}
+		type writerTo interface {
+			WriteTo(io.Writer) (int64, error)
+		}
+		n, err := m.levels[l].(writerTo).WriteTo(w)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Read deserializes a matrix written by WriteTo.
+func Read(r io.Reader) (*Matrix, error) {
+	hdr, err := readU64s(r, 4)
+	if err != nil {
+		return nil, err
+	}
+	if hdr[0] != magic {
+		return nil, errors.New("wavelet: bad magic")
+	}
+	m := &Matrix{n: int(hdr[1]), sigma: hdr[2], width: uint(hdr[3])}
+	if m.n < 0 || m.width < 1 || m.width > 64 {
+		return nil, fmt.Errorf("wavelet: corrupt header (n=%d width=%d)", m.n, m.width)
+	}
+	levels := make([]bitvector.Vector, m.width)
+	m.zeros = make([]int, m.width)
+	for l := uint(0); l < m.width; l++ {
+		meta, err := readU64s(r, 2)
+		if err != nil {
+			return nil, err
+		}
+		m.zeros[l] = int(meta[0])
+		switch meta[1] {
+		case tagPlain:
+			v, err := bitvector.ReadPlain(r)
+			if err != nil {
+				return nil, err
+			}
+			levels[l] = v
+		case tagRRR:
+			v, err := bitvector.ReadRRR(r)
+			if err != nil {
+				return nil, err
+			}
+			levels[l] = v
+		default:
+			return nil, fmt.Errorf("wavelet: unknown level tag %d", meta[1])
+		}
+		if levels[l].Len() != m.n {
+			return nil, errors.New("wavelet: level length mismatch")
+		}
+	}
+	m.setLevels(levels)
+	return m, nil
+}
+
+func writeU64s(w io.Writer, total *int64, vs ...uint64) error {
+	buf := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		for j := 0; j < 8; j++ {
+			buf[8*i+j] = byte(v >> (8 * j))
+		}
+	}
+	n, err := w.Write(buf)
+	*total += int64(n)
+	return err
+}
+
+func readU64s(r io.Reader, n int) ([]uint64, error) {
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("wavelet: short read: %w", err)
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		for j := 0; j < 8; j++ {
+			vs[i] |= uint64(buf[8*i+j]) << (8 * j)
+		}
+	}
+	return vs, nil
+}

@@ -1,0 +1,220 @@
+package wgpb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ltj"
+	"repro/internal/ring"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	cfg := GraphConfig{Triples: 5000, Nodes: 800, Predicates: 20, Seed: 7}
+	g := Generate(cfg)
+	if g.Len() == 0 {
+		t.Fatal("generator produced an empty graph")
+	}
+	return g
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GraphConfig{Triples: 1000, Nodes: 200, Predicates: 10, Seed: 42}
+	g1, g2 := Generate(cfg), Generate(cfg)
+	if g1.Len() != g2.Len() {
+		t.Fatalf("same seed, different sizes: %d vs %d", g1.Len(), g2.Len())
+	}
+	for i, tr := range g1.Triples() {
+		if tr != g2.Triples()[i] {
+			t.Fatalf("same seed, different triple at %d", i)
+		}
+	}
+	g3 := Generate(GraphConfig{Triples: 1000, Nodes: 200, Predicates: 10, Seed: 43})
+	same := g1.Len() == g3.Len()
+	if same {
+		for i, tr := range g1.Triples() {
+			if tr != g3.Triples()[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateDomains(t *testing.T) {
+	g := testGraph(t)
+	if g.NumSO() != 800 || g.NumP() != 20 {
+		t.Errorf("domains = (%d,%d), want (800,20)", g.NumSO(), g.NumP())
+	}
+	for _, tr := range g.Triples() {
+		if tr.S >= 800 || tr.O >= 800 || tr.P >= 20 {
+			t.Fatalf("triple out of domain: %v", tr)
+		}
+	}
+}
+
+func TestGenerateSkew(t *testing.T) {
+	// Predicate usage must be heavily skewed (Zipf): the most frequent
+	// predicate should dominate the least frequent by a wide margin.
+	g := testGraph(t)
+	counts := map[graph.ID]int{}
+	for _, tr := range g.Triples() {
+		counts[tr.P]++
+	}
+	max, min := 0, math.MaxInt
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 10*min && len(counts) > 3 {
+		t.Errorf("predicate distribution not skewed: max=%d min=%d", max, min)
+	}
+}
+
+func TestSeventeenShapes(t *testing.T) {
+	if len(Shapes) != 17 {
+		t.Fatalf("%d shapes, want 17 (Figure 7)", len(Shapes))
+	}
+	names := map[string]bool{}
+	for _, s := range Shapes {
+		if names[s.Name] {
+			t.Errorf("duplicate shape %s", s.Name)
+		}
+		names[s.Name] = true
+		// Every edge endpoint must be a valid node.
+		for _, e := range s.Edges {
+			if e.From < 0 || e.From >= s.Nodes || e.To < 0 || e.To >= s.Nodes {
+				t.Errorf("shape %s: edge %v out of range", s.Name, e)
+			}
+		}
+		// Shapes must be connected starting from node 0 in generation order
+		// (each edge touches an already-reachable node).
+		reach := map[int]bool{0: true}
+		for _, e := range s.Edges {
+			if !reach[e.From] && !reach[e.To] {
+				t.Errorf("shape %s: edge %v disconnected at generation time", s.Name, e)
+			}
+			reach[e.From], reach[e.To] = true, true
+		}
+	}
+	for _, want := range []string{"P2", "P3", "P4", "T2", "Ti2", "T3", "Ti3", "J3", "T4", "Ti4", "J4", "Tr1", "Tr2", "S1", "S2", "S3", "S4"} {
+		if !names[want] {
+			t.Errorf("missing shape %s", want)
+		}
+	}
+}
+
+func TestShapeByName(t *testing.T) {
+	if ShapeByName("Tr2") == nil || ShapeByName("Tr2").Name != "Tr2" {
+		t.Error("ShapeByName(Tr2) failed")
+	}
+	if ShapeByName("nope") != nil {
+		t.Error("ShapeByName accepted an unknown name")
+	}
+}
+
+func TestInstantiatedQueriesHaveSolutions(t *testing.T) {
+	// The random-walk construction guarantees nonempty results, the key
+	// property of WGPB instantiation.
+	g := testGraph(t)
+	w := NewWorkload(g, 3)
+	r := ring.New(g, ring.Options{})
+	idx := ltj.IndexFunc(func(tp graph.TriplePattern) ltj.PatternIter {
+		return r.NewPatternState(tp)
+	})
+	for i := range Shapes {
+		s := &Shapes[i]
+		qs := w.Queries(s, 3)
+		if len(qs) == 0 {
+			t.Errorf("shape %s: no queries generated", s.Name)
+			continue
+		}
+		for _, q := range qs {
+			if len(q) != len(s.Edges) {
+				t.Errorf("shape %s: query has %d patterns, want %d", s.Name, len(q), len(s.Edges))
+			}
+			res, err := ltj.Evaluate(idx, q, ltj.Options{Limit: 1})
+			if err != nil {
+				t.Fatalf("shape %s query %v: %v", s.Name, q, err)
+			}
+			if len(res.Solutions) == 0 {
+				t.Errorf("shape %s: instantiated query %v has no solutions", s.Name, q)
+			}
+		}
+	}
+}
+
+func TestQueriesShapeStructure(t *testing.T) {
+	// All WGPB queries have constant predicates and variable endpoints.
+	g := testGraph(t)
+	w := NewWorkload(g, 5)
+	for i := range Shapes {
+		for _, q := range w.Queries(&Shapes[i], 2) {
+			for _, tp := range q {
+				if tp.P.IsVar || !tp.S.IsVar || !tp.O.IsVar {
+					t.Fatalf("shape %s produced non-WGPB pattern %v", Shapes[i].Name, tp)
+				}
+			}
+		}
+	}
+}
+
+func TestRealWorldQueryMix(t *testing.T) {
+	g := testGraph(t)
+	w := NewWorkload(g, 11)
+	counts := map[string]int{}
+	total := 0
+	for i := 0; i < 3000; i++ {
+		q := w.RealWorldQuery(4)
+		if len(q) == 0 {
+			t.Fatal("empty query")
+		}
+		for _, tp := range q {
+			key := ""
+			for _, pos := range []graph.Position{graph.PosS, graph.PosP, graph.PosO} {
+				if tp.Term(pos).IsVar {
+					key += "?"
+				} else {
+					key += pos.String()
+				}
+			}
+			counts[key]++
+			total++
+		}
+	}
+	// The dominant types must match the paper's ordering: (?,p,?) most
+	// common, then (?,p,o).
+	if counts["?p?"] <= counts["?po"] {
+		t.Errorf("type mix off: ?p?=%d should exceed ?po=%d", counts["?p?"], counts["?po"])
+	}
+	if frac := float64(counts["?p?"]) / float64(total); frac < 0.35 || frac > 0.65 {
+		t.Errorf("(?,p,?) fraction = %.2f, want near 0.515", frac)
+	}
+	// Variable-predicate patterns must appear (unlike WGPB).
+	if counts["???"] == 0 {
+		t.Error("no (?,?,?) patterns generated")
+	}
+}
+
+func TestRealWorldQueriesEvaluate(t *testing.T) {
+	g := testGraph(t)
+	w := NewWorkload(g, 13)
+	r := ring.New(g, ring.Options{})
+	idx := ltj.IndexFunc(func(tp graph.TriplePattern) ltj.PatternIter {
+		return r.NewPatternState(tp)
+	})
+	for i := 0; i < 30; i++ {
+		q := w.RealWorldQuery(3)
+		if _, err := ltj.Evaluate(idx, q, ltj.Options{Limit: 100}); err != nil {
+			t.Fatalf("query %v: %v", q, err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package wcoring
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline/btreeltj"
+	"repro/internal/baseline/flattrie"
+	"repro/internal/bench"
+	"repro/internal/graph"
+	"repro/internal/ltj"
+	"repro/internal/ring"
+	"repro/internal/testutil"
+	"repro/internal/wgpb"
+)
+
+// TestSoakCrossSystemEquivalence is the repository's heavyweight
+// integration test: at a scale well beyond the unit tests (30k triples)
+// it checks that the ring (plain, compressed, sparse-C), the flat tries
+// and the B+-tree orders produce identical solutions for hundreds of
+// random queries covering every constant/variable shape, plus the WGPB
+// shapes. Run with -short to skip.
+func TestSoakCrossSystemEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	g := wgpb.Generate(wgpb.GraphConfig{Triples: 30_000, Nodes: 8_000, Predicates: 12, Seed: 99})
+
+	mk := func(opt ring.Options) ltj.Index {
+		r := ring.New(g, opt)
+		return ltj.IndexFunc(func(tp graph.TriplePattern) ltj.PatternIter {
+			return r.NewPatternState(tp)
+		})
+	}
+	reference := mk(ring.Options{})
+	systems := map[string]ltj.Index{
+		"c-ring":        mk(ring.Options{Compress: true, RRRBlock: 16}),
+		"ring-sparse-c": mk(ring.Options{SparseC: true}),
+		"flattrie":      flattrie.New(g),
+		"btreeltj":      btreeltj.New(g),
+	}
+	// No timeout: a timed-out evaluation returns PARTIAL solutions, which
+	// must never be compared as if complete (that once produced a flaky
+	// failure under CPU contention). Solution explosions are skipped via
+	// the cap below instead.
+	const maxSols = 100_000
+	opt := ltj.Options{Limit: 0}
+
+	rng := rand.New(rand.NewSource(7))
+	var queries []graph.Pattern
+	for i := 0; i < 150; i++ {
+		queries = append(queries, testutil.RandomPattern(rng, g, 1+rng.Intn(3), 1+rng.Intn(4), 0.6, false))
+	}
+	w := wgpb.NewWorkload(g, 5)
+	for i := range wgpb.Shapes {
+		queries = append(queries, w.Queries(&wgpb.Shapes[i], 2)...)
+	}
+
+	skipped := 0
+	for qi, q := range queries {
+		// Reference pass, capped: queries with enormous outputs prove
+		// little here and make the cross-check needlessly slow.
+		refRes, err := ltj.Evaluate(reference, q, ltj.Options{Limit: maxSols + 1})
+		if err != nil {
+			t.Fatalf("query %d %v on ring: %v", qi, q, err)
+		}
+		if len(refRes.Solutions) > maxSols {
+			skipped++
+			continue
+		}
+		ref := refRes.Solutions
+		for name, idx := range systems {
+			res, err := ltj.Evaluate(idx, q, opt)
+			if err != nil {
+				t.Fatalf("query %d %v on %s: %v", qi, q, name, err)
+			}
+			if diff := testutil.SameSolutions(res.Solutions, ref, q.Vars()); diff != "" {
+				t.Fatalf("query %d %v: %s disagrees with ring: %s", qi, q, name, diff)
+			}
+		}
+	}
+	if skipped > len(queries)/4 {
+		t.Fatalf("%d of %d queries skipped as oversized — workload too explosive", skipped, len(queries))
+	}
+	t.Logf("cross-checked %d queries (%d skipped as oversized)", len(queries)-skipped, skipped)
+}
+
+// TestSoakSerializedEquivalence builds, serializes, reloads and re-runs a
+// workload, confirming the on-disk format carries full fidelity at scale.
+func TestSoakSerializedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	g := wgpb.Generate(wgpb.GraphConfig{Triples: 20_000, Nodes: 6_000, Predicates: 10, Seed: 7})
+	sys := bench.RingSystem("Ring", ring.New(g, ring.Options{}))
+
+	w := wgpb.NewWorkload(g, 3)
+	var queries []graph.Pattern
+	for i := range wgpb.Shapes {
+		queries = append(queries, w.Queries(&wgpb.Shapes[i], 1)...)
+	}
+	statsBefore, err := bench.Run(sys, queries, ltj.Options{Limit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip through serialization.
+	r := ring.New(g, ring.Options{})
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ring.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := bench.RingSystem("Ring2", loaded)
+	statsAfter, err := bench.Run(sys2, queries, ltj.Options{Limit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range statsBefore.Queries {
+		if statsBefore.Queries[i].Solutions != statsAfter.Queries[i].Solutions {
+			t.Fatalf("query %d: %d solutions before, %d after reload",
+				i, statsBefore.Queries[i].Solutions, statsAfter.Queries[i].Solutions)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+// Package wcoring is a Go implementation of the ring index of Arroyuelo,
+// Hogan, Navarro, Reutter, Rojas-Ledesma and Soto, "Worst-Case Optimal
+// Graph Joins in Almost No Space" (SIGMOD 2021): a BWT-based graph index
+// that supports worst-case-optimal Leapfrog TrieJoin over
+// subject–predicate–object graphs in |G| + o(|G|) bits — the index
+// replaces the graph — with a compressed variant (C-Ring) that fits in
+// entropy-bounded space.
+//
+// # Quick start
+//
+//	store, err := wcoring.NewStore([]wcoring.StringTriple{
+//		{"bohr", "advisor", "thomson"},
+//		{"nobel", "winner", "bohr"},
+//		{"nobel", "nominee", "thomson"},
+//	}, wcoring.Options{})
+//	...
+//	sols, err := store.Query([]wcoring.PatternString{
+//		{S: "?x", P: "winner", O: "?y"},
+//		{S: "?x", P: "nominee", O: "?z"},
+//		{S: "?z", P: "advisor", O: "?y"},
+//	}, wcoring.QueryOptions{})
+//
+// Terms beginning with '?' are variables; everything else is a constant.
+// Solutions come back as variable→string maps.
+//
+// Power users can work at the identifier level with the subpackage types
+// re-exported here (Graph, Pattern, Ring, Evaluate), and the baselines the
+// paper compares against live under internal/baseline (exercised by the
+// benchmark harness in bench_test.go and cmd/benchtables).
+package wcoring
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/graph"
+	"repro/internal/ltj"
+	"repro/internal/query"
+	"repro/internal/ring"
+	"repro/internal/rpq"
+)
+
+// Re-exported identifier-level types. See the internal packages for the
+// full documentation of each.
+type (
+	// ID is a dictionary-encoded constant.
+	ID = graph.ID
+	// Triple is an encoded subject–predicate–object edge.
+	Triple = graph.Triple
+	// Term is a constant or variable component of a triple pattern.
+	Term = graph.Term
+	// TriplePattern is a triple with optional variables.
+	TriplePattern = graph.TriplePattern
+	// Pattern is a basic graph pattern (a set of triple patterns).
+	Pattern = graph.Pattern
+	// Binding is one solution at the identifier level.
+	Binding = graph.Binding
+	// Graph is an in-memory triple set.
+	Graph = graph.Graph
+	// Ring is the paper's index.
+	Ring = ring.Ring
+	// StringTriple is a raw string edge.
+	StringTriple = dict.StringTriple
+	// Dictionary maps strings to identifiers.
+	Dictionary = dict.Dictionary
+)
+
+// Const builds a constant term.
+func Const(v ID) Term { return graph.Const(v) }
+
+// Var builds a variable term.
+func Var(name string) Term { return graph.Var(name) }
+
+// TP builds a triple pattern.
+func TP(s, p, o Term) TriplePattern { return graph.TP(s, p, o) }
+
+// NewGraph builds a deduplicated, sorted graph from encoded triples.
+func NewGraph(ts []Triple) *Graph { return graph.New(ts) }
+
+// Options configures the physical ring representation.
+type Options struct {
+	// Compress selects the C-Ring (RRR-compressed bitvectors).
+	Compress bool
+	// RRRBlock is the compression block size b (default 16). Larger values
+	// compress better and query slower (the paper evaluates 16 and 64).
+	RRRBlock int
+	// SparseC stores the per-zone C arrays as Elias-Fano bitvectors
+	// (footnote 2 of the paper) — smaller for large, sparse ID spaces.
+	SparseC bool
+}
+
+// NewRing builds a ring index over g.
+func NewRing(g *Graph, opt Options) *Ring {
+	return ring.New(g, ring.Options{Compress: opt.Compress, RRRBlock: opt.RRRBlock, SparseC: opt.SparseC})
+}
+
+// QueryOptions mirrors the evaluation knobs of the paper's benchmarks.
+type QueryOptions struct {
+	// Limit caps the number of solutions (0 = unlimited).
+	Limit int
+	// Timeout aborts evaluation (0 = none).
+	Timeout time.Duration
+	// Order forces a variable elimination order (nil = automatic).
+	Order []string
+}
+
+// Evaluate runs worst-case-optimal LTJ over a ring at the identifier
+// level.
+func Evaluate(r *Ring, q Pattern, opt QueryOptions) ([]Binding, error) {
+	idx := ltj.IndexFunc(func(tp TriplePattern) ltj.PatternIter {
+		return r.NewPatternState(tp)
+	})
+	res, err := ltj.Evaluate(idx, q, ltj.Options{
+		Limit: opt.Limit, Timeout: opt.Timeout, Order: opt.Order,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.TimedOut {
+		return res.Solutions, ErrTimeout
+	}
+	return res.Solutions, nil
+}
+
+// ErrTimeout reports that evaluation hit QueryOptions.Timeout; partial
+// solutions are still returned.
+var ErrTimeout = errors.New("wcoring: query timed out")
+
+// Store bundles a dictionary, the ring, and string-level querying — the
+// end-to-end API a downstream application uses.
+type Store struct {
+	dict *dict.Dictionary
+	ring *ring.Ring
+	n    int
+}
+
+// NewStore dictionary-encodes the triples and builds a ring over them.
+func NewStore(triples []StringTriple, opt Options) (*Store, error) {
+	d, encoded := dict.Build(triples)
+	g := graph.NewWithDomains(encoded, d.NumSO(), d.NumP())
+	return &Store{dict: d, ring: NewRing(g, opt), n: g.Len()}, nil
+}
+
+// Len returns the number of distinct triples.
+func (s *Store) Len() int { return s.n }
+
+// Ring exposes the underlying index.
+func (s *Store) Ring() *Ring { return s.ring }
+
+// Dictionary exposes the string↔ID mapping.
+func (s *Store) Dictionary() *Dictionary { return s.dict }
+
+// SizeBytes returns the index footprint (the ring replaces the triples;
+// the dictionary is the unavoidable string table).
+func (s *Store) SizeBytes() int { return s.ring.SizeBytes() }
+
+// PatternString is a triple pattern over strings; components starting
+// with '?' are variables.
+type PatternString struct {
+	S, P, O string
+}
+
+// compile translates string patterns to the encoded form. Constants
+// absent from the dictionary make the query provably empty; that is
+// reported via the bool result.
+func (s *Store) compile(q []PatternString) (Pattern, map[string]bool, bool, error) {
+	out := make(Pattern, 0, len(q))
+	predVars := map[string]bool{}
+	for i, ps := range q {
+		mk := func(raw string, isPred bool) (Term, bool, error) {
+			if raw == "" {
+				return Term{}, false, fmt.Errorf("wcoring: pattern %d has an empty component", i)
+			}
+			if strings.HasPrefix(raw, "?") {
+				name := raw[1:]
+				if name == "" {
+					return Term{}, false, fmt.Errorf("wcoring: pattern %d has an unnamed variable", i)
+				}
+				if isPred {
+					predVars[name] = true
+				}
+				return Var(name), true, nil
+			}
+			var id ID
+			var ok bool
+			if isPred {
+				id, ok = s.dict.EncodeP(raw)
+			} else {
+				id, ok = s.dict.EncodeSO(raw)
+			}
+			if !ok {
+				return Term{}, false, nil // constant not in the data: empty query
+			}
+			return Const(id), true, nil
+		}
+		st, ok, err := mk(ps.S, false)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if !ok {
+			return nil, nil, false, nil
+		}
+		pt, ok, err := mk(ps.P, true)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if !ok {
+			return nil, nil, false, nil
+		}
+		ot, ok, err := mk(ps.O, false)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if !ok {
+			return nil, nil, false, nil
+		}
+		out = append(out, TP(st, pt, ot))
+	}
+	return out, predVars, true, nil
+}
+
+// Query evaluates string-level basic graph patterns and decodes the
+// solutions back to strings.
+func (s *Store) Query(q []PatternString, opt QueryOptions) ([]map[string]string, error) {
+	encoded, predVars, feasible, err := s.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	if !feasible {
+		return nil, nil
+	}
+	sols, err := Evaluate(s.ring, encoded, opt)
+	out := make([]map[string]string, len(sols))
+	for i, b := range sols {
+		out[i] = s.dict.DecodeBinding(b, predVars)
+	}
+	return out, err
+}
+
+// SelectOptions extends QueryOptions with the layered query features of
+// package internal/query: projection, DISTINCT, ordering and windowing.
+type SelectOptions struct {
+	QueryOptions
+	// Project lists the variables to return (nil = all).
+	Project []string
+	// Distinct deduplicates projected solutions.
+	Distinct bool
+	// OrderBy sorts results by the given variables (by constant ID, i.e.
+	// lexicographically, since the dictionary assigns IDs in sorted order).
+	OrderBy []string
+	// Offset skips the first results (applied after ordering).
+	Offset int
+}
+
+// Select evaluates a query with projection/DISTINCT/ORDER BY/OFFSET on
+// top of the wco join, decoding solutions to strings.
+func (s *Store) Select(q []PatternString, opt SelectOptions) ([]map[string]string, error) {
+	encoded, predVars, feasible, err := s.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	if !feasible {
+		return nil, nil
+	}
+	idx := ltj.IndexFunc(func(tp TriplePattern) ltj.PatternIter {
+		return s.ring.NewPatternState(tp)
+	})
+	sols, err := query.Select{
+		Pattern:  encoded,
+		Project:  opt.Project,
+		Distinct: opt.Distinct,
+		OrderBy:  opt.OrderBy,
+		Offset:   opt.Offset,
+		Limit:    opt.Limit,
+		Timeout:  opt.Timeout,
+	}.Run(idx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string]string, len(sols))
+	for i, b := range sols {
+		out[i] = s.dict.DecodeBinding(b, predVars)
+	}
+	return out, nil
+}
+
+// Reach evaluates a regular path query from the given source node: it
+// returns, in dictionary order, the nodes reachable by a path whose
+// predicate sequence matches the SPARQL-flavoured expression — names
+// combined with '/' (sequence), '|' (alternation), '*', '+', '?'
+// (repetition), '^' (inverse), and parentheses. For example
+// "advisor+/(winner|nominee)". Regular path queries are one of the
+// operators the paper's conclusions propose layering on the ring.
+func (s *Store) Reach(src, path string) ([]string, error) {
+	srcID, ok := s.dict.EncodeSO(src)
+	if !ok {
+		return nil, nil // unknown source: nothing reachable
+	}
+	expr, err := rpq.ParsePath(path, func(name string) (ID, bool) {
+		return s.dict.EncodeP(name)
+	})
+	if err != nil {
+		return nil, err
+	}
+	lister := rpq.IndexLister{Idx: ltj.IndexFunc(func(tp TriplePattern) ltj.PatternIter {
+		return s.ring.NewPatternState(tp)
+	})}
+	ids := rpq.Compile(expr).Reach(lister, srcID)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if str, ok := s.dict.DecodeSO(id); ok {
+			out = append(out, str)
+		}
+	}
+	return out, nil
+}
+
+// WriteTo serializes the store: a length-prefixed dictionary section
+// followed by the ring. The length prefix lets the reader consume the
+// dictionary exactly, regardless of its internal buffering.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	var dbuf bytes.Buffer
+	if _, err := s.dict.WriteTo(&dbuf); err != nil {
+		return 0, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(dbuf.Len()))
+	n := int64(0)
+	k, err := w.Write(hdr[:])
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	k2, err := w.Write(dbuf.Bytes())
+	n += int64(k2)
+	if err != nil {
+		return n, err
+	}
+	n2, err := s.ring.WriteTo(w)
+	return n + n2, err
+}
+
+// ReadStore deserializes a store written by WriteTo.
+func ReadStore(r io.Reader) (*Store, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("wcoring: short store header: %w", err)
+	}
+	dictLen := binary.LittleEndian.Uint64(hdr[:])
+	if dictLen > 1<<40 {
+		return nil, errors.New("wcoring: implausible dictionary size")
+	}
+	// Grow the buffer as bytes actually arrive so a forged length on a
+	// short stream cannot trigger a huge allocation.
+	var dbuf bytes.Buffer
+	if n, err := io.CopyN(&dbuf, r, int64(dictLen)); err != nil || uint64(n) != dictLen {
+		return nil, fmt.Errorf("wcoring: short dictionary section: %w", err)
+	}
+	d, err := dict.Read(bytes.NewReader(dbuf.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	rg, err := ring.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dict: d, ring: rg, n: rg.Len()}, nil
+}
+
+// ParseTSV reads "s p o" lines into string triples.
+func ParseTSV(r io.Reader) ([]StringTriple, error) { return dict.ParseTSV(r) }
+
+// ParseNTriples reads the W3C N-Triples format into string triples (terms
+// keep their surface syntax: IRIs in angle brackets, literals quoted).
+func ParseNTriples(r io.Reader) ([]StringTriple, error) { return dict.ParseNTriples(r) }
