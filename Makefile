@@ -1,0 +1,38 @@
+# Repo checks. `make check` is the full CI gate; the individual targets
+# exist so a failing stage can be rerun alone.
+#
+#   make fmt    gofmt diff check (fails listing unformatted files)
+#   make vet    go vet
+#   make build  compile everything
+#   make test   full test suite (includes the fuzz seed corpora)
+#   make race   race-detector lane over the concurrent engine and the
+#               shared-ring fork tests (the parallel LTJ surface)
+#   make bench  the parallel-LTJ sweep benchmark, one iteration
+#   make check  fmt + vet + build + test + race
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test race
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -run 'Parallel|Stream' ./internal/ltj/... ./internal/ring/...
+
+bench:
+	$(GO) test . -run XXX -bench 'BenchmarkParallelLTJ' -benchtime 1x

@@ -458,6 +458,44 @@ func BenchmarkAblationRRRBlock(b *testing.B) {
 	}
 }
 
+// --- Intra-query parallelism (Options.Parallelism) ---
+
+// BenchmarkParallelLTJ sweeps the parallel LTJ engine's worker count on
+// the Ring over a join-heavy WGPB shape mix, reporting per-query time
+// and the speedup against the sequential engine measured in the same
+// run. On a single-CPU host the goroutines share one core, so the
+// speedup reported there reflects coordination overhead, not scaling;
+// BENCH_parallel_ltj.json records the same sweep via cmd/benchtables.
+func BenchmarkParallelLTJ(b *testing.B) {
+	e := loadEnv()
+	var queries []graph.Pattern
+	for _, s := range []string{"Tr1", "Tr2", "P3", "T3", "S1"} {
+		queries = append(queries, e.wgpbSets[s]...)
+	}
+	sys := e.byName["Ring"]
+	base, err := bench.Run(sys, queries, wgpbOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			opt := wgpbOptions()
+			opt.Parallelism = p
+			var stats *bench.RunStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err = bench.Run(sys, queries, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(stats.Mean().Microseconds())/1000, "ms/query")
+			b.ReportMetric(bench.Speedup(base, stats), "speedup-vs-seq")
+		})
+	}
+}
+
 // --- Extensions: dynamic store and regular path queries ---
 
 // BenchmarkDynamicStore measures the conclusions-sketch dynamic ring:

@@ -11,14 +11,25 @@
 //	benchtables -table 2   [-n 2000000]   # Table 2: real-world mix
 //	benchtables -table 3                  # Table 3: order counts
 //	benchtables -table space [-n 1000000] # §5.2.1 space/retrieval detail
+//	benchtables -table parallel [-json BENCH_parallel_ltj.json]
+//	                                      # intra-query parallel LTJ sweep
 //	benchtables -table all
+//
+// The -parallel flag sets the intra-query worker count for tables 1, 2
+// and fig8 (0 = sequential, the paper's protocol); -table parallel
+// instead sweeps parallelism levels explicitly and can record the result
+// as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -33,34 +44,55 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtables: ")
 
-	table := flag.String("table", "all", "which table: 1, 2, 3, fig8, space, all")
-	n := flag.Int("n", 300_000, "graph size in triples for tables 1/2/fig8/space")
+	table := flag.String("table", "all", "which table: 1, 2, 3, fig8, space, parallel, all")
+	n := flag.Int("n", 300_000, "graph size in triples for tables 1/2/fig8/space/parallel")
 	perShape := flag.Int("pershape", 10, "WGPB queries per shape")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query timeout")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "intra-query workers for tables 1/2/fig8 (0 = sequential)")
+	levels := flag.String("levels", "1,2,4,8", "parallelism levels for -table parallel")
+	jsonOut := flag.String("json", "", "for -table parallel: also write the sweep as JSON to this file")
 	flag.Parse()
 
 	switch *table {
 	case "1":
-		table1(*n, *perShape, *timeout, *seed)
+		table1(*n, *perShape, *timeout, *seed, *parallel)
 	case "2":
-		table2(*n, *timeout, *seed)
+		table2(*n, *timeout, *seed, *parallel)
 	case "3":
 		table3()
 	case "fig8":
-		figure8(*n, *perShape, *timeout, *seed)
+		figure8(*n, *perShape, *timeout, *seed, *parallel)
 	case "space":
 		spaceDetail(*n, *seed)
+	case "parallel":
+		parallelTable(*n, *perShape, *timeout, *seed, parseLevels(*levels), *jsonOut)
 	case "all":
-		table1(*n, *perShape, *timeout, *seed)
-		figure8(*n, *perShape, *timeout, *seed)
-		table2(*n, *timeout, *seed)
+		table1(*n, *perShape, *timeout, *seed, *parallel)
+		figure8(*n, *perShape, *timeout, *seed, *parallel)
+		table2(*n, *timeout, *seed, *parallel)
 		table3()
 		spaceDetail(*n, *seed)
+		parallelTable(*n, *perShape, *timeout, *seed, parseLevels(*levels), *jsonOut)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+func parseLevels(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			log.Fatalf("bad -levels value %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		log.Fatal("-levels is empty")
+	}
+	return out
 }
 
 func makeGraph(n int, seed int64) *graph.Graph {
@@ -83,7 +115,7 @@ var paperTable1 = map[string][2]string{
 	"RDF-3X":      {"107.65", "182"},
 }
 
-func table1(n, perShape int, timeout time.Duration, seed int64) {
+func table1(n, perShape int, timeout time.Duration, seed int64, parallel int) {
 	g := makeGraph(n, seed)
 	w := wgpb.NewWorkload(g, seed+1)
 	var queries []graph.Pattern
@@ -93,7 +125,7 @@ func table1(n, perShape int, timeout time.Duration, seed int64) {
 	fmt.Printf("\nTable 1 — index space (bytes/triple) and avg WGPB query time (%d queries)\n", len(queries))
 	fmt.Printf("%-14s %14s %14s %12s %14s %14s\n",
 		"System", "space B/t", "time ms", "timeouts", "paper B/t", "paper ms")
-	opt := ltj.Options{Limit: 1000, Timeout: timeout}
+	opt := ltj.Options{Limit: 1000, Timeout: timeout, Parallelism: parallel}
 	for _, sys := range bench.Build(g, bench.AllSystems()) {
 		stats, err := bench.Run(sys, queries, opt)
 		if err != nil {
@@ -112,7 +144,7 @@ func table1(n, perShape int, timeout time.Duration, seed int64) {
 	fmt.Println("(paper columns: 81.4M-triple Wikidata subgraph on the authors' hardware; shape, not absolutes, is the target)")
 }
 
-func figure8(n, perShape int, timeout time.Duration, seed int64) {
+func figure8(n, perShape int, timeout time.Duration, seed int64, parallel int) {
 	g := makeGraph(n, seed)
 	w := wgpb.NewWorkload(g, seed+2)
 	systems := bench.Build(g, bench.AllSystems())
@@ -122,7 +154,7 @@ func figure8(n, perShape int, timeout time.Duration, seed int64) {
 		fmt.Printf(" %22s", sys.Name())
 	}
 	fmt.Println()
-	opt := ltj.Options{Limit: 1000, Timeout: timeout}
+	opt := ltj.Options{Limit: 1000, Timeout: timeout, Parallelism: parallel}
 	for i := range wgpb.Shapes {
 		s := &wgpb.Shapes[i]
 		queries := w.Queries(s, perShape)
@@ -152,7 +184,7 @@ var paperTable2 = map[string][4]string{
 	"RDF-3X":   {"85.73", "8239", "126", "13"},
 }
 
-func table2(n int, timeout time.Duration, seed int64) {
+func table2(n int, timeout time.Duration, seed int64, parallel int) {
 	g := makeGraph(n, seed)
 	w := wgpb.NewWorkload(g, seed+3)
 	var queries []graph.Pattern
@@ -162,7 +194,7 @@ func table2(n int, timeout time.Duration, seed int64) {
 	fmt.Printf("\nTable 2 — real-world mix (%d queries): space and time statistics\n", len(queries))
 	fmt.Printf("%-14s %10s %10s %10s %10s %9s | paper: B/t avg median timeouts\n",
 		"System", "space B/t", "min ms", "avg ms", "median ms", "timeouts")
-	opt := ltj.Options{Limit: 1000, Timeout: timeout}
+	opt := ltj.Options{Limit: 1000, Timeout: timeout, Parallelism: parallel}
 	set := bench.SystemSet{Ring: true, Jena: true, JenaLTJ: true, RDF3X: true}
 	for _, sys := range bench.Build(g, set) {
 		stats, err := bench.Run(sys, queries, opt)
@@ -249,4 +281,102 @@ func bitsFor(v uint64) int {
 		v >>= 1
 	}
 	return n + 1
+}
+
+// parallelReport is the JSON schema of BENCH_parallel_ltj.json: one
+// intra-query parallelism sweep per system over the WGPB workload.
+type parallelReport struct {
+	Workload   string               `json:"workload"`
+	Triples    int                  `json:"triples"`
+	Queries    int                  `json:"queries"`
+	Limit      int                  `json:"limit"`
+	TimeoutMS  int64                `json:"timeout_ms"`
+	Seed       int64                `json:"seed"`
+	GoMaxProcs int                  `json:"gomaxprocs"`
+	NumCPU     int                  `json:"num_cpu"`
+	Note       string               `json:"note,omitempty"`
+	Systems    []parallelSystemRows `json:"systems"`
+}
+
+type parallelSystemRows struct {
+	System string             `json:"system"`
+	Levels []parallelLevelRow `json:"levels"`
+}
+
+type parallelLevelRow struct {
+	Parallelism int     `json:"parallelism"`
+	MeanMS      float64 `json:"mean_ms"`
+	MedianMS    float64 `json:"median_ms"`
+	P75MS       float64 `json:"p75_ms"`
+	Timeouts    int     `json:"timeouts"`
+	Speedup     float64 `json:"speedup_vs_p1"`
+}
+
+// parallelTable sweeps intra-query parallelism levels over the WGPB
+// workload and prints per-level means/medians plus the speedup against
+// the single-worker run. With jsonOut set, the sweep is also written as
+// JSON (the source of BENCH_parallel_ltj.json).
+func parallelTable(n, perShape int, timeout time.Duration, seed int64, levels []int, jsonOut string) {
+	g := makeGraph(n, seed)
+	w := wgpb.NewWorkload(g, seed+4)
+	var queries []graph.Pattern
+	for i := range wgpb.Shapes {
+		queries = append(queries, w.Queries(&wgpb.Shapes[i], perShape)...)
+	}
+	opt := ltj.Options{Limit: 1000, Timeout: timeout}
+	report := parallelReport{
+		Workload:   "WGPB shape mix",
+		Triples:    g.Len(),
+		Queries:    len(queries),
+		Limit:      opt.Limit,
+		TimeoutMS:  timeout.Milliseconds(),
+		Seed:       seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if runtime.NumCPU() < 2 {
+		report.Note = "single-CPU host: worker goroutines share one core, so speedup over P=1 " +
+			"measures overhead only; rerun on a multicore machine for scaling numbers"
+	}
+	fmt.Printf("\nParallel LTJ — WGPB shape mix (%d queries), speedup vs 1 worker (GOMAXPROCS=%d, NumCPU=%d)\n",
+		len(queries), report.GoMaxProcs, report.NumCPU)
+	fmt.Printf("%-14s %10s %12s %12s %12s %10s %10s\n",
+		"System", "workers", "mean ms", "median ms", "p75 ms", "timeouts", "speedup")
+	set := bench.SystemSet{Ring: true, CRing: true}
+	for _, sys := range bench.Build(g, set) {
+		sweep, err := bench.ParallelSweep(sys, queries, opt, levels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := sweep[0]
+		rows := parallelSystemRows{System: sys.Name()}
+		for _, s := range sweep {
+			sp := bench.Speedup(base, s)
+			fmt.Printf("%-14s %10d %12.2f %12.2f %12.2f %10d %9.2fx\n",
+				sys.Name(), s.Parallelism, ms(s.Mean()), ms(s.Median()),
+				ms(s.Percentile(75)), s.Timeouts(), sp)
+			rows.Levels = append(rows.Levels, parallelLevelRow{
+				Parallelism: s.Parallelism,
+				MeanMS:      ms(s.Mean()),
+				MedianMS:    ms(s.Median()),
+				P75MS:       ms(s.Percentile(75)),
+				Timeouts:    s.Timeouts(),
+				Speedup:     sp,
+			})
+		}
+		report.Systems = append(report.Systems, rows)
+	}
+	if report.Note != "" {
+		fmt.Println("note: " + report.Note)
+	}
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
 }

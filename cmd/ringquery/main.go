@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -29,6 +30,8 @@ func main() {
 	query := flag.String("query", "", "query: 's p o' patterns, ';'-separated, '?x' variables")
 	limit := flag.Int("limit", 1000, "max solutions (0 = unlimited)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "evaluation timeout (0 = none)")
+	parallel := flag.Int("parallel", 0,
+		"intra-query worker goroutines: 0 = sequential (deterministic order), -1 = one per CPU; >1 returns the same solutions in nondeterministic order")
 	flag.Parse()
 	if *index == "" {
 		flag.Usage()
@@ -47,7 +50,10 @@ func main() {
 	fmt.Printf("loaded index: %d triples, %.2f bytes/triple\n",
 		store.Len(), float64(store.SizeBytes())/float64(store.Len()))
 
-	opt := wcoring.QueryOptions{Limit: *limit, Timeout: *timeout}
+	if *parallel < 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+	opt := wcoring.QueryOptions{Limit: *limit, Timeout: *timeout, Parallelism: *parallel}
 	if *query != "" {
 		runQuery(store, *query, opt)
 		return

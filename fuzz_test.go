@@ -2,10 +2,15 @@ package wcoring
 
 import (
 	"bytes"
+	"math/rand"
 	"strings"
 	"testing"
 
+	"repro/internal/graph"
+	"repro/internal/ltj"
+	"repro/internal/ring"
 	"repro/internal/rpq"
+	"repro/internal/testutil"
 )
 
 // Fuzz targets double as robustness tests: on every `go test` run they
@@ -63,6 +68,78 @@ func FuzzParseTSV(f *testing.F) {
 		for _, tr := range ts {
 			if tr.S == "" || tr.P == "" || tr.O == "" {
 				t.Fatalf("parser returned empty component: %+v", tr)
+			}
+		}
+	})
+}
+
+// FuzzParallelLTJ is the differential fuzzer for intra-query
+// parallelism: over random graphs and random patterns of every shape,
+// the parallel engine at 2, 4 and 8 workers must return exactly the
+// sequential solution multiset, and under a Limit it must return
+// min(Limit, total) solutions all drawn from that multiset.
+func FuzzParallelLTJ(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint16(0))
+	f.Add(int64(2), uint8(1), uint8(1), uint16(1))
+	f.Add(int64(3), uint8(4), uint8(4), uint16(7))
+	f.Add(int64(99), uint8(3), uint8(2), uint16(1000))
+	f.Fuzz(func(t *testing.T, seed int64, nt, nv uint8, limit uint16) {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 80+rng.Intn(80), 4+graph.ID(rng.Intn(16)), 1+graph.ID(rng.Intn(4)))
+		r := ring.New(g, ring.Options{})
+		idx := ltj.IndexFunc(func(tp graph.TriplePattern) ltj.PatternIter {
+			return r.NewPatternState(tp)
+		})
+		q := testutil.RandomPattern(rng, g, 1+int(nt)%4, 1+int(nv)%4, 0.35, false)
+
+		seq, err := ltj.Evaluate(idx, q, ltj.Options{})
+		if err != nil {
+			t.Fatalf("sequential %v: %v", q, err)
+		}
+		want := graph.CanonicalizeBindings(seq.Solutions, q.Vars())
+		wantCount := map[string]int{}
+		for _, k := range want {
+			wantCount[k]++
+		}
+
+		for _, p := range []int{2, 4, 8} {
+			par, err := ltj.Evaluate(idx, q, ltj.Options{Parallelism: p})
+			if err != nil {
+				t.Fatalf("P=%d %v: %v", p, q, err)
+			}
+			got := graph.CanonicalizeBindings(par.Solutions, q.Vars())
+			if len(got) != len(want) {
+				t.Fatalf("P=%d %v: %d solutions, want %d", p, q, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("P=%d %v: multiset diverges at %d: %s != %s", p, q, i, got[i], want[i])
+				}
+			}
+
+			if limit == 0 {
+				continue
+			}
+			lim, err := ltj.Evaluate(idx, q, ltj.Options{Parallelism: p, Limit: int(limit)})
+			if err != nil {
+				t.Fatalf("P=%d limit=%d %v: %v", p, limit, q, err)
+			}
+			wantN := int(limit)
+			if len(want) < wantN {
+				wantN = len(want)
+			}
+			if len(lim.Solutions) != wantN {
+				t.Fatalf("P=%d limit=%d %v: %d solutions, want %d", p, limit, q, len(lim.Solutions), wantN)
+			}
+			gotCount := map[string]int{}
+			for _, k := range graph.CanonicalizeBindings(lim.Solutions, q.Vars()) {
+				gotCount[k]++
+			}
+			for k, n := range gotCount {
+				if n > wantCount[k] {
+					t.Fatalf("P=%d limit=%d %v: solution %s appears %d times, sequential has %d",
+						p, limit, q, k, n, wantCount[k])
+				}
 			}
 		}
 	})

@@ -142,8 +142,8 @@ func (it *patternIter) Bind(pos graph.Position, c graph.ID) {
 	t := it.tree(pos)
 	lo, hi := it.curRange()
 	nlo := t.LowerBound(it.levelKey(c))
-	nhi := t.LowerBound(it.levelKey(c + 1)) // c+1 may wrap to 0 only at 2^32-1
-	if c == ^graph.ID(0) {
+	nhi := t.LowerBound(it.levelKey(c + 1)) // c+1 wraps to 0 only at MaxID
+	if c == graph.MaxID {
 		nhi = hi
 	}
 	if nlo < lo {
@@ -158,6 +158,19 @@ func (it *patternIter) Bind(pos graph.Position, c graph.ID) {
 	it.lo, it.hi = nlo, nhi
 	it.prefix = append(it.prefix, pos)
 	it.vals = append(it.vals, c)
+}
+
+// Fork returns an independent copy for parallel evaluation: the cursor is
+// cloned with its own backing arrays, the six trees are shared read-only.
+func (it *patternIter) Fork() ltj.PatternIter {
+	return &patternIter{
+		idx:    it.idx,
+		prefix: append([]graph.Position(nil), it.prefix...),
+		vals:   append([]graph.ID(nil), it.vals...),
+		frames: append([]frame(nil), it.frames...),
+		lo:     it.lo,
+		hi:     it.hi,
+	}
 }
 
 func (it *patternIter) Unbind() {

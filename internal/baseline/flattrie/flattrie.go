@@ -173,6 +173,20 @@ func (it *patternIter) Bind(pos graph.Position, c graph.ID) {
 	it.vals = append(it.vals, c)
 }
 
+// Fork returns an independent copy for parallel evaluation: the cursor
+// (prefix, values, range, frame stack) is cloned with its own backing
+// arrays, the six sorted triple arrays are shared read-only.
+func (it *patternIter) Fork() ltj.PatternIter {
+	return &patternIter{
+		idx:    it.idx,
+		prefix: append([]graph.Position(nil), it.prefix...),
+		vals:   append([]graph.ID(nil), it.vals...),
+		frames: append([]fframe(nil), it.frames...),
+		lo:     it.lo,
+		hi:     it.hi,
+	}
+}
+
 func (it *patternIter) Unbind() {
 	if len(it.prefix) == 0 {
 		panic("flattrie: Unbind with no bindings")

@@ -256,7 +256,7 @@ func (idx *Index) rangeFor(tp graph.TriplePattern, b graph.Binding) (*order, key
 	}
 	// hi = prefix incremented at its last bound coordinate.
 	if bestLen == 0 {
-		hi = key{^graph.ID(0), ^graph.ID(0), ^graph.ID(0)}
+		hi = key{graph.MaxID, graph.MaxID, graph.MaxID}
 		// Upper bound is exclusive; use max key and accept missing the
 		// all-max triple (ids never reach 2^32-1 in practice).
 	} else {
@@ -266,7 +266,7 @@ func (idx *Index) rangeFor(tp graph.TriplePattern, b graph.Binding) (*order, key
 			carry = hi[i] == 0
 		}
 		if carry {
-			hi = key{^graph.ID(0), ^graph.ID(0), ^graph.ID(0)}
+			hi = key{graph.MaxID, graph.MaxID, graph.MaxID}
 		}
 	}
 	return best, lo, hi, bound

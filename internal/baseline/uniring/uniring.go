@@ -101,6 +101,20 @@ func (it *patternIter) Unbind() {
 	delete(it.bound, a)
 }
 
+// Fork returns an independent copy for parallel evaluation: the bound-set
+// map and bind order are cloned, the d-ary ring is shared read-only.
+func (it *patternIter) Fork() ltj.PatternIter {
+	cp := &patternIter{
+		idx:   it.idx,
+		bound: make(map[int]ringhd.Value, len(it.bound)),
+		order: append([]int(nil), it.order...),
+	}
+	for k, v := range it.bound {
+		cp.bound[k] = v
+	}
+	return cp
+}
+
 // CanEnumerate is always false: the unidirectional index has no
 // lonely-variable fast path here; LTJ falls back to seek loops.
 func (it *patternIter) CanEnumerate(graph.Position) bool { return false }

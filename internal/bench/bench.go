@@ -131,8 +131,11 @@ type QueryStat struct {
 
 // RunStats aggregates a workload run.
 type RunStats struct {
-	System  string
-	Queries []QueryStat
+	System string
+	// Parallelism is the intra-query worker count the run used
+	// (0 = sequential); set by ParallelSweep.
+	Parallelism int
+	Queries     []QueryStat
 }
 
 // Run evaluates every query sequentially (as the paper does) and records
@@ -158,6 +161,36 @@ func Run(sys System, queries []graph.Pattern, opt ltj.Options) (*RunStats, error
 		})
 	}
 	return stats, nil
+}
+
+// ParallelSweep runs the same workload at several intra-query
+// parallelism levels (0/1 = sequential) and returns one RunStats per
+// level, in order — the data behind the parallel columns of
+// cmd/benchtables and BENCH_parallel_ltj.json. Queries within a level
+// still run sequentially, as in the paper's protocol; only the evaluation
+// of each individual query is parallel.
+func ParallelSweep(sys System, queries []graph.Pattern, opt ltj.Options, levels []int) ([]*RunStats, error) {
+	out := make([]*RunStats, 0, len(levels))
+	for _, p := range levels {
+		o := opt
+		o.Parallelism = p
+		stats, err := Run(sys, queries, o)
+		if err != nil {
+			return nil, err
+		}
+		stats.Parallelism = p
+		out = append(out, stats)
+	}
+	return out, nil
+}
+
+// Speedup returns base's mean query time divided by s's (how much faster
+// s ran the workload); 0 when s recorded no time.
+func Speedup(base, s *RunStats) float64 {
+	if s.Mean() == 0 {
+		return 0
+	}
+	return float64(base.Mean()) / float64(s.Mean())
 }
 
 // supported returns the non-Unsupported durations, sorted.

@@ -17,6 +17,12 @@ import (
 // in separate ID spaces.
 type ID = uint32
 
+// MaxID is the largest representable identifier. Search loops that advance
+// with "c = v + 1" after accepting a candidate v must treat v == MaxID as
+// the end of the domain: the increment would wrap around to 0 and restart
+// the scan, so MaxID doubles as the loop's termination sentinel.
+const MaxID = ^ID(0)
+
 // Triple is a subject–predicate–object edge s --p--> o.
 type Triple struct {
 	S, P, O ID

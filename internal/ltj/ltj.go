@@ -18,38 +18,28 @@
 package ltj
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/trieiter"
 )
 
 // PatternIter is the per-triple-pattern trie-iterator interface
 // (Definition 2.1, extended with explicit binding state). Implementations
 // maintain the set of triples matching one pattern under a stack of
-// position bindings.
-type PatternIter interface {
-	// Count returns the number of triples currently matching. It backs the
-	// cardinality statistics used for the variable elimination order.
-	Count() int
-	// Empty reports whether no triples currently match.
-	Empty() bool
-	// Leap returns the smallest constant >= c that can bind position pos
-	// while keeping the pattern non-empty, or ok=false if none exists.
-	// pos must be unbound.
-	Leap(pos graph.Position, c graph.ID) (graph.ID, bool)
-	// Bind fixes pos to c, narrowing the match set (possibly to empty).
-	Bind(pos graph.Position, c graph.ID)
-	// Unbind undoes the most recent Bind.
-	Unbind()
-	// CanEnumerate reports whether Enumerate is supported for pos under
-	// the current bindings.
-	CanEnumerate(pos graph.Position) bool
-	// Enumerate visits the distinct values that can bind pos, in
-	// increasing order, stopping early if visit returns false.
-	Enumerate(pos graph.Position, visit func(graph.ID) bool)
-}
+// position bindings. The interface itself lives in package trieiter so
+// index packages can name it without importing the engine; this alias
+// keeps the engine-side name.
+type PatternIter = trieiter.Iter
+
+// ForkableIter is the optional capability behind Options.Parallelism:
+// iterators that can cheaply clone their cursor state so worker
+// goroutines explore disjoint parts of the binding tree over a shared
+// read-only index. See trieiter.Forkable.
+type ForkableIter = trieiter.Forkable
 
 // Index creates trie-iterators for triple patterns.
 type Index interface {
@@ -80,6 +70,15 @@ type Options struct {
 	// DisableOrderHeuristic uses the query's first-use variable order
 	// instead of the cardinality-based order (ablation; Section 4.3).
 	DisableOrderHeuristic bool
+	// Parallelism sets the number of worker goroutines for intra-query
+	// evaluation. 0 or 1 evaluates sequentially on the calling goroutine,
+	// producing solutions in the engine's deterministic order. Values > 1
+	// split the first eliminated variable's candidate domain across
+	// workers (each running the same leapfrog search over forked
+	// iterators), so the solution *multiset* is unchanged but the order
+	// becomes nondeterministic. DefaultParallelism() is a reasonable
+	// value for saturating the local machine.
+	Parallelism int
 }
 
 // ErrTimeout is returned (wrapped in Result.Err) when the evaluation
@@ -176,20 +175,31 @@ func StreamStats(idx Index, q graph.Pattern, opt Options, stats *EvalStats, emit
 	e.order = order
 	e.binding = graph.Binding{}
 
-	// Precompute, per variable, which iterators mention it and where.
-	e.varIters = make([][]iterVar, len(order))
-	for j, name := range order {
-		for i := range e.pats {
-			pos := e.pats[i].tp.Positions(name)
-			if len(pos) > 0 {
-				e.varIters[j] = append(e.varIters[j], iterVar{it: e.pats[i].it, positions: pos})
-			}
-		}
-		if len(e.varIters[j]) == 0 {
-			return fmt.Errorf("ltj: variable %q not in query", name)
-		}
+	if e.varIters, err = buildVarIters(order, e.pats); err != nil {
+		return err
+	}
+	if opt.Parallelism > 1 {
+		return e.searchParallel(idx)
 	}
 	return e.search(0)
+}
+
+// buildVarIters precomputes, per variable of the elimination order, which
+// iterators mention it and at which positions.
+func buildVarIters(order []string, pats []patternEntry) ([][]iterVar, error) {
+	varIters := make([][]iterVar, len(order))
+	for j, name := range order {
+		for i := range pats {
+			pos := pats[i].tp.Positions(name)
+			if len(pos) > 0 {
+				varIters[j] = append(varIters[j], iterVar{it: pats[i].it, positions: pos})
+			}
+		}
+		if len(varIters[j]) == 0 {
+			return nil, fmt.Errorf("ltj: variable %q not in query", name)
+		}
+	}
+	return varIters, nil
 }
 
 type patternEntry struct {
@@ -210,19 +220,38 @@ type evaluator struct {
 	varIters [][]iterVar
 	binding  graph.Binding
 	deadline time.Time
+	ctx      context.Context // non-nil only in parallel mode (cancellation)
 	ticks    int
 	stopped  bool // emit returned false
 	stats    *EvalStats
 }
 
-// checkDeadline polls the clock every few hundred steps.
+// errCancelled aborts a parallel worker when another worker satisfied the
+// limit (or the caller's emit stopped the evaluation). It never escapes
+// the engine: searchParallel folds it into a clean stop.
+var errCancelled = errors.New("ltj: evaluation cancelled")
+
+// checkDeadline polls the clock (and, in parallel mode, the cancellation
+// context) every few hundred steps.
 func (e *evaluator) checkDeadline() error {
-	if e.deadline.IsZero() {
+	if e.deadline.IsZero() && e.ctx == nil {
 		return nil
 	}
 	e.ticks++
-	if e.ticks&255 == 0 && time.Now().After(e.deadline) {
-		return ErrTimeout
+	// Compare against 1, not 0, so the very first tick already polls: a
+	// query whose first seek loops for a long time inside one iterator
+	// range must still observe the deadline before tick 256.
+	if e.ticks&255 == 1 {
+		if e.ctx != nil {
+			select {
+			case <-e.ctx.Done():
+				return errCancelled
+			default:
+			}
+		}
+		if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+			return ErrTimeout
+		}
 	}
 	return nil
 }
@@ -309,8 +338,8 @@ func (e *evaluator) search(j int) error {
 		if e.stopped {
 			return nil
 		}
-		if v == ^graph.ID(0) {
-			return nil
+		if v == graph.MaxID {
+			return nil // the "c = v + 1" below would wrap to 0
 		}
 		c = v + 1
 	}
@@ -366,8 +395,8 @@ func (e *evaluator) leapVar(iv iterVar, c graph.ID) (graph.ID, bool) {
 		if !empty {
 			return v, true
 		}
-		if v == ^graph.ID(0) {
-			return 0, false
+		if v == graph.MaxID {
+			return 0, false // the "c = v + 1" below would wrap to 0
 		}
 		c = v + 1
 	}

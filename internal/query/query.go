@@ -64,6 +64,11 @@ type Select struct {
 	Limit int
 	// Timeout bounds evaluation (0 = none).
 	Timeout time.Duration
+	// Parallelism sets the LTJ worker count (0/1 = sequential; see
+	// ltj.Options.Parallelism). With no ORDER BY the result order becomes
+	// nondeterministic when > 1; filters, projection, DISTINCT and LIMIT
+	// still apply streamingly, on the calling goroutine.
+	Parallelism int
 }
 
 // Run evaluates the query over the index.
@@ -103,7 +108,7 @@ func (s Select) Run(idx ltj.Index) ([]graph.Binding, error) {
 
 	var out []graph.Binding
 	seen := map[string]bool{}
-	err := ltj.Stream(idx, s.Pattern, ltj.Options{Timeout: s.Timeout}, func(b graph.Binding) bool {
+	err := ltj.Stream(idx, s.Pattern, ltj.Options{Timeout: s.Timeout, Parallelism: s.Parallelism}, func(b graph.Binding) bool {
 		for _, f := range s.Filters {
 			if !f(b) {
 				return true

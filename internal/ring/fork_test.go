@@ -1,0 +1,166 @@
+package ring
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/testutil"
+	"repro/internal/trieiter"
+)
+
+// TestParallelForkStates drives many forked PatternStates concurrently
+// over one shared Ring and C-Ring. The ring's query structures are
+// immutable after construction, so forks advancing on separate
+// goroutines must neither race (the -race CI lane runs this test) nor
+// influence each other's results: every goroutine re-derives the same
+// subject → objects map a single sequential cursor produces.
+func TestParallelForkStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, tc := range bothVariants {
+		t.Run(tc.name, func(t *testing.T) {
+			g := testutil.RandomGraph(rng, 400, 30, 4)
+			r := New(g, tc.opt)
+			tp := graph.TP(graph.Var("x"), graph.Const(1), graph.Var("y"))
+
+			// Sequential reference: for each subject matching (?x, 1, ?y),
+			// the set of objects.
+			want := map[graph.ID][]graph.ID{}
+			ref := r.NewPatternState(tp)
+			for c := graph.ID(0); ; {
+				v, ok := ref.Leap(graph.PosS, c)
+				if !ok {
+					break
+				}
+				ref.Bind(graph.PosS, v)
+				for o := graph.ID(0); ; {
+					w, ok := ref.Leap(graph.PosO, o)
+					if !ok {
+						break
+					}
+					want[v] = append(want[v], w)
+					if w == graph.MaxID {
+						break
+					}
+					o = w + 1
+				}
+				ref.Unbind()
+				if v == graph.MaxID {
+					break
+				}
+				c = v + 1
+			}
+			if len(want) == 0 {
+				t.Fatal("predicate 1 matches nothing; pick a denser seed")
+			}
+
+			// Fork one state per goroutine from a shared parent and let all
+			// of them walk the full pattern concurrently.
+			parent := r.NewPatternState(tp)
+			baseBound := parent.Bound() // the constant predicate is bound at creation
+			const goroutines = 8
+			var wg sync.WaitGroup
+			errs := make(chan string, goroutines)
+			var forkable trieiter.Forkable = parent // compile-time capability check
+			for i := 0; i < goroutines; i++ {
+				it := forkable.Fork()
+				if it == nil {
+					t.Fatal("PatternState.Fork returned nil")
+				}
+				wg.Add(1)
+				go func(id int, it trieiter.Iter) {
+					defer wg.Done()
+					got := map[graph.ID][]graph.ID{}
+					for c := graph.ID(0); ; {
+						v, ok := it.Leap(graph.PosS, c)
+						if !ok {
+							break
+						}
+						it.Bind(graph.PosS, v)
+						for o := graph.ID(0); ; {
+							w, ok := it.Leap(graph.PosO, o)
+							if !ok {
+								break
+							}
+							got[v] = append(got[v], w)
+							if w == graph.MaxID {
+								break
+							}
+							o = w + 1
+						}
+						it.Unbind()
+						if v == graph.MaxID {
+							break
+						}
+						c = v + 1
+					}
+					if len(got) != len(want) {
+						errs <- "subject count mismatch"
+						return
+					}
+					for s, os := range want {
+						g := got[s]
+						if len(g) != len(os) {
+							errs <- "object count mismatch"
+							return
+						}
+						for j := range os {
+							if g[j] != os[j] {
+								errs <- "object value mismatch"
+								return
+							}
+						}
+					}
+				}(i, it)
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Error(e)
+			}
+
+			// The parent must be untouched by its forks' journeys.
+			if parent.Bound() != baseBound {
+				t.Fatalf("parent state mutated: %d bindings, want %d", parent.Bound(), baseBound)
+			}
+		})
+	}
+}
+
+// TestParallelForkMidwayState forks a state after a binding and checks
+// the fork continues independently: advancing the fork does not move the
+// parent, and unbinding the parent does not corrupt the fork.
+func TestParallelForkMidwayState(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	g := testutil.RandomGraph(rng, 300, 25, 3)
+	r := New(g, Options{})
+	tp := graph.TP(graph.Var("x"), graph.Var("p"), graph.Var("y"))
+	ps := r.NewPatternState(tp)
+	v, ok := ps.Leap(graph.PosP, 0)
+	if !ok {
+		t.Fatal("empty graph")
+	}
+	ps.Bind(graph.PosP, v)
+	fork := ps.Fork()
+	ps.Unbind() // parent rewinds; fork must keep the binding
+
+	count := 0
+	for c := graph.ID(0); ; {
+		w, ok := fork.Leap(graph.PosS, c)
+		if !ok {
+			break
+		}
+		count++
+		if w == graph.MaxID {
+			break
+		}
+		c = w + 1
+	}
+	if count == 0 {
+		t.Fatal("fork lost its binding state")
+	}
+	if got := ps.Count(); got != r.Len() {
+		t.Fatalf("parent count %d after unbind, want full %d", got, r.Len())
+	}
+}

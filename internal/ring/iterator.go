@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/trieiter"
 )
 
 // PatternState is the ring's implementation of the trie-iterator
@@ -210,6 +211,18 @@ func (ps *PatternState) Bind(pos graph.Position, c graph.ID) {
 		}
 		ps.bound++
 	}
+}
+
+// Fork returns an independent copy of the iterator for parallel
+// evaluation (trieiter.Forkable): the mutable cursor — zone, range,
+// binding stack — is copied, while the ring itself, being immutable
+// after construction, is shared read-only across all forks. This holds
+// for both the plain Ring and the C-Ring (the RRR decode tables are
+// populated at package init).
+func (ps *PatternState) Fork() trieiter.Iter {
+	cp := *ps
+	cp.frames = append([]frame(nil), ps.frames...)
+	return &cp
 }
 
 // Unbind undoes the most recent Bind.

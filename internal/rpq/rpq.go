@@ -237,7 +237,7 @@ func (il IndexLister) Neighbors(v, p graph.ID, inverse bool, visit func(graph.ID
 		if !visit(w) {
 			return
 		}
-		if w == ^graph.ID(0) {
+		if w == graph.MaxID {
 			return
 		}
 		c = w + 1

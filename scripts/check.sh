@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI gate: formatting, vet, build, tests, and the race-detector lane
+# over the parallel LTJ engine and the shared-ring fork tests.
+# Equivalent to `make check`; kept as a script for environments
+# without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (parallel engine lane)"
+go test -race -run 'Parallel|Stream' ./internal/ltj/... ./internal/ring/...
+
+echo "all checks passed"

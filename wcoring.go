@@ -109,6 +109,11 @@ type QueryOptions struct {
 	Timeout time.Duration
 	// Order forces a variable elimination order (nil = automatic).
 	Order []string
+	// Parallelism sets the number of worker goroutines for intra-query
+	// evaluation (0 or 1 = sequential, deterministic order; > 1 returns
+	// the same solution multiset in nondeterministic order). The ring is
+	// shared read-only across workers.
+	Parallelism int
 }
 
 // Evaluate runs worst-case-optimal LTJ over a ring at the identifier
@@ -119,6 +124,7 @@ func Evaluate(r *Ring, q Pattern, opt QueryOptions) ([]Binding, error) {
 	})
 	res, err := ltj.Evaluate(idx, q, ltj.Options{
 		Limit: opt.Limit, Timeout: opt.Timeout, Order: opt.Order,
+		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -273,13 +279,14 @@ func (s *Store) Select(q []PatternString, opt SelectOptions) ([]map[string]strin
 		return s.ring.NewPatternState(tp)
 	})
 	sols, err := query.Select{
-		Pattern:  encoded,
-		Project:  opt.Project,
-		Distinct: opt.Distinct,
-		OrderBy:  opt.OrderBy,
-		Offset:   opt.Offset,
-		Limit:    opt.Limit,
-		Timeout:  opt.Timeout,
+		Pattern:     encoded,
+		Project:     opt.Project,
+		Distinct:    opt.Distinct,
+		OrderBy:     opt.OrderBy,
+		Offset:      opt.Offset,
+		Limit:       opt.Limit,
+		Timeout:     opt.Timeout,
+		Parallelism: opt.Parallelism,
 	}.Run(idx)
 	if err != nil {
 		return nil, err
