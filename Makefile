@@ -8,13 +8,19 @@
 #   make race   race-detector lane over the concurrent engine and the
 #               shared-ring fork tests (the parallel LTJ surface)
 #   make bench  the parallel-LTJ sweep benchmark, one iteration
-#   make check  fmt + vet + build + test + race
+#   make bench-smoke      compile-and-run every benchmark once (catches
+#                         bit-rotted benchmarks without paying full runs)
+#   make bench-substrate  the rank/select substrate microbenchmarks
+#                         (bits, bitvector, wavelet, ring Leap/Bind);
+#                         benchstat-friendly: set BENCH_COUNT>=10 to compare
+#   make check  fmt + vet + build + test + race + bench-smoke
 
 GO ?= go
+BENCH_COUNT ?= 1
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-smoke bench-substrate
 
-check: fmt vet build test race
+check: fmt vet build test race bench-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -36,3 +42,10 @@ race:
 
 bench:
 	$(GO) test . -run XXX -bench 'BenchmarkParallelLTJ' -benchtime 1x
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+bench-substrate:
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) \
+		./internal/bits ./internal/bitvector ./internal/wavelet ./internal/ring

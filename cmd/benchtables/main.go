@@ -36,6 +36,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ltj"
 	"repro/internal/orders"
+	"repro/internal/prof"
 	"repro/internal/ring"
 	"repro/internal/wgpb"
 )
@@ -52,7 +53,19 @@ func main() {
 	parallel := flag.Int("parallel", 0, "intra-query workers for tables 1/2/fig8 (0 = sequential)")
 	levels := flag.String("levels", "1,2,4,8", "parallelism levels for -table parallel")
 	jsonOut := flag.String("json", "", "for -table parallel: also write the sweep as JSON to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	switch *table {
 	case "1":

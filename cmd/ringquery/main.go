@@ -20,6 +20,7 @@ import (
 	"time"
 
 	wcoring "repro"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -32,11 +33,23 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Minute, "evaluation timeout (0 = none)")
 	parallel := flag.Int("parallel", 0,
 		"intra-query worker goroutines: 0 = sequential (deterministic order), -1 = one per CPU; >1 returns the same solutions in nondeterministic order")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if *index == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	f, err := os.Open(*index)
 	if err != nil {

@@ -1,0 +1,43 @@
+package bits
+
+import (
+	mbits "math/bits"
+	"math/rand"
+	"testing"
+)
+
+var sinkInt int
+
+// BenchmarkSelect64 measures the in-word select primitive on random words
+// with random in-range ks — the innermost step of every bitvector select.
+func BenchmarkSelect64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const m = 1024
+	words := make([]uint64, m)
+	ks := make([]int, m)
+	for i := range words {
+		w := rng.Uint64()
+		if w == 0 {
+			w = 1
+		}
+		words[i] = w
+		ks[i] = rng.Intn(mbits.OnesCount64(w))
+	}
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		j := i & (m - 1)
+		s += Select64(words[j], ks[j])
+	}
+	sinkInt = s
+}
+
+// BenchmarkSelect64Sparse exercises the high-byte path: a single set bit
+// placed in the top byte, the worst case for a byte-by-byte loop.
+func BenchmarkSelect64Sparse(b *testing.B) {
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += Select64(1<<63|uint64(i&1), i&1)
+	}
+	sinkInt = s
+}

@@ -10,39 +10,58 @@ package bits
 
 import mbits "math/bits"
 
+const (
+	l8   = 0x0101010101010101 // the constant L8 of Knuth 7.1.3 / Vigna's broadword select
+	msb8 = 0x8080808080808080
+)
+
+// selInByte[k<<8|b] is the position of the (k+1)-th set bit of the byte b,
+// or 8 when b has at most k ones. 2 KiB, built once at init.
+var selInByte [8 * 256]uint8
+
+func init() {
+	for b := 0; b < 256; b++ {
+		for k := 0; k < 8; k++ {
+			pos, seen := 8, 0
+			for i := 0; i < 8; i++ {
+				if b&(1<<uint(i)) != 0 {
+					if seen == k {
+						pos = i
+						break
+					}
+					seen++
+				}
+			}
+			selInByte[k<<8|b] = uint8(pos)
+		}
+	}
+}
+
 // Select64 returns the position (0-based, from the least significant bit) of
 // the (k+1)-th set bit of w, i.e. the position p such that w has exactly k
 // ones strictly below p and bit p set. k must satisfy 0 <= k < OnesCount(w);
 // otherwise the result is 64.
 //
-// The implementation narrows the search byte by byte using cumulative
-// popcounts, then finishes with a small table-free scan inside the byte.
+// The implementation is branchless broadword (SWAR): byte-wise prefix
+// popcounts locate the target byte with a parallel comparison against k,
+// and a 2 KiB table finishes inside the byte.
 func Select64(w uint64, k int) int {
 	if k < 0 || k >= mbits.OnesCount64(w) {
 		return 64
 	}
-	// Narrow to the byte containing the target bit.
-	base := 0
-	for {
-		c := mbits.OnesCount8(uint8(w))
-		if k < c {
-			break
-		}
-		k -= c
-		w >>= 8
-		base += 8
-	}
-	// Scan within the byte.
-	b := uint8(w)
-	for i := 0; i < 8; i++ {
-		if b&(1<<uint(i)) != 0 {
-			if k == 0 {
-				return base + i
-			}
-			k--
-		}
-	}
-	return 64 // unreachable for valid input
+	// s: byte i holds the popcount of bytes 0..i of w (each value <= 64).
+	s := w - ((w >> 1) & 0x5555555555555555)
+	s = (s & 0x3333333333333333) + ((s >> 2) & 0x3333333333333333)
+	s = ((s + (s >> 4)) & 0x0f0f0f0f0f0f0f0f) * l8
+	// Per-byte compare s_i <= k: both sides are < 128, so the MSB of
+	// (k|0x80) - s_i is set exactly when k >= s_i. The number of bytes
+	// whose prefix count is <= k is the index of the byte holding the
+	// (k+1)-th one.
+	leq := ((uint64(k)*l8 | msb8) - s) & msb8
+	byteOff := mbits.OnesCount64(leq) << 3
+	// Ones strictly below the target byte: the previous byte's prefix count.
+	prev := int((s << 8) >> uint(byteOff) & 0xff)
+	return byteOff + int(selInByte[(k-prev)<<8|int(w>>uint(byteOff)&0xff)])
 }
 
 // Select64Zero returns the position of the (k+1)-th zero bit of w, or 64 if

@@ -1,0 +1,147 @@
+package bitvector
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The substrate benchmarks share one set of vectors per (n, density) so
+// that construction cost is paid once, outside the timed loops. Queries
+// are pre-drawn to keep RNG cost out of the measurement.
+
+const benchBits = 1 << 21
+
+var sinkInt int
+
+type benchVectors struct {
+	plain *Plain
+	rrr16 *RRR
+	ones  int
+	n     int
+}
+
+var benchCache = map[string]*benchVectors{}
+
+func benchSetup(b *testing.B, density float64, label string) *benchVectors {
+	b.Helper()
+	if v, ok := benchCache[label]; ok {
+		return v
+	}
+	rng := rand.New(rand.NewSource(41))
+	bs := randomBits(rng, benchBits, density)
+	v := &benchVectors{
+		plain: buildPlain(bs),
+		rrr16: buildRRR(bs, 16),
+		n:     benchBits,
+	}
+	v.ones = v.plain.Ones()
+	benchCache[label] = v
+	return v
+}
+
+var benchDensities = []struct {
+	name    string
+	density float64
+}{
+	{"dense50", 0.5},
+	{"sparse2", 0.02},
+}
+
+func randKs(limit, m int) []int {
+	rng := rand.New(rand.NewSource(42))
+	ks := make([]int, m)
+	for i := range ks {
+		ks[i] = 1 + rng.Intn(limit)
+	}
+	return ks
+}
+
+func BenchmarkPlainRank1(b *testing.B) {
+	for _, d := range benchDensities {
+		b.Run(d.name, func(b *testing.B) {
+			v := benchSetup(b, d.density, d.name)
+			is := randKs(v.n, 1024)
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				s += v.plain.Rank1(is[i&1023])
+			}
+			sinkInt = s
+		})
+	}
+}
+
+func BenchmarkPlainSelect1(b *testing.B) {
+	for _, d := range benchDensities {
+		b.Run(d.name, func(b *testing.B) {
+			v := benchSetup(b, d.density, d.name)
+			ks := randKs(v.ones, 1024)
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				s += v.plain.Select1(ks[i&1023])
+			}
+			sinkInt = s
+		})
+	}
+}
+
+func BenchmarkPlainSelect0(b *testing.B) {
+	for _, d := range benchDensities {
+		b.Run(d.name, func(b *testing.B) {
+			v := benchSetup(b, d.density, d.name)
+			ks := randKs(v.n-v.ones, 1024)
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				s += v.plain.Select0(ks[i&1023])
+			}
+			sinkInt = s
+		})
+	}
+}
+
+func BenchmarkRRRRank1(b *testing.B) {
+	for _, d := range benchDensities {
+		b.Run(d.name, func(b *testing.B) {
+			v := benchSetup(b, d.density, d.name)
+			is := randKs(v.n, 1024)
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				s += v.rrr16.Rank1(is[i&1023])
+			}
+			sinkInt = s
+		})
+	}
+}
+
+func BenchmarkRRRSelect1(b *testing.B) {
+	for _, d := range benchDensities {
+		b.Run(d.name, func(b *testing.B) {
+			v := benchSetup(b, d.density, d.name)
+			ks := randKs(v.ones, 1024)
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				s += v.rrr16.Select1(ks[i&1023])
+			}
+			sinkInt = s
+		})
+	}
+}
+
+func BenchmarkRRRSelect0(b *testing.B) {
+	for _, d := range benchDensities {
+		b.Run(d.name, func(b *testing.B) {
+			v := benchSetup(b, d.density, d.name)
+			ks := randKs(v.n-v.ones, 1024)
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				s += v.rrr16.Select0(ks[i&1023])
+			}
+			sinkInt = s
+		})
+	}
+}

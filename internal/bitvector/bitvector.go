@@ -66,6 +66,11 @@ type Plain struct {
 	super []uint64 // super[j] = Rank1(j*superBits)
 	sub   []uint16 // sub[w] = ones in the superblock before word w
 	ones  int
+
+	// Select directories (see select.go): superblock index of every
+	// selSampleRate-th one and zero. Rebuilt on load, never serialized.
+	selOne  []uint32
+	selZero []uint32
 }
 
 // NewPlain builds a Plain bitvector of length n whose set bits are given by
@@ -119,6 +124,19 @@ func (p *Plain) buildDirectory() {
 	}
 	p.super[nSuper] = uint64(cum)
 	p.ones = cum
+	p.selOne = buildSelectSamples(p.ones, nSuper, func(sb int) int {
+		return int(p.super[sb])
+	})
+	p.selZero = buildSelectSamples(p.n-p.ones, nSuper, p.zerosBefore)
+}
+
+// zerosBefore returns the number of zero bits before superblock sb.
+func (p *Plain) zerosBefore(sb int) int {
+	b := sb * superBits
+	if b > p.n {
+		b = p.n
+	}
+	return b - int(p.super[sb])
 }
 
 // Len returns the number of bits.
@@ -167,9 +185,9 @@ func (p *Plain) Select1(k int) int {
 	if k < 1 || k > p.ones {
 		return -1
 	}
-	// Binary search the superblock directory for the last superblock whose
-	// cumulative rank is < k.
-	lo, hi := 0, len(p.super)-1
+	// Narrow to the window between two select samples, then binary search
+	// it for the last superblock whose cumulative rank is < k.
+	lo, hi := selectWindow(p.selOne, k, len(p.super)-2)
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
 		if int(p.super[mid]) < k {
@@ -198,7 +216,7 @@ func (p *Plain) Select0(k int) int {
 		return -1
 	}
 	// rank0 at superblock j is j*superBits - super[j].
-	lo, hi := 0, len(p.super)-1
+	lo, hi := selectWindow(p.selZero, k, len(p.super)-2)
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
 		if mid*superBits-int(p.super[mid]) < k {
@@ -227,9 +245,11 @@ func (p *Plain) Select0(k int) int {
 	return w*64 + bits.Select64(^word, rem-1)
 }
 
-// SizeBytes returns the memory footprint including the rank directory.
+// SizeBytes returns the memory footprint including the rank directory and
+// the select samples.
 func (p *Plain) SizeBytes() int {
-	return 8*len(p.words) + 8*len(p.super) + 2*len(p.sub) + 24
+	return 8*len(p.words) + 8*len(p.super) + 2*len(p.sub) +
+		4*(len(p.selOne)+len(p.selZero)) + 24
 }
 
 // Builder accumulates bits for a Plain or RRR vector.

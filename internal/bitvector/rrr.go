@@ -35,6 +35,11 @@ type RRR struct {
 	superRank []uint32 // cumulative ones before each superblock
 	superOff  []uint32 // offset-stream bit position at each superblock
 
+	// Select directories (see select.go): superblock index of every
+	// selSampleRate-th one and zero. Rebuilt on load, never serialized.
+	selOne  []uint32
+	selZero []uint32
+
 	tab *binomTable
 }
 
@@ -211,7 +216,27 @@ func rrrFromWords(words []uint64, n, blockSize int) *RRR {
 	r.superRank[nSuper] = uint32(rank)
 	r.superOff[nSuper] = uint32(pos)
 	r.ones = int(rank)
+	r.buildSelectSamples()
 	return r
+}
+
+// buildSelectSamples derives the select directories from the rank
+// superblocks. Called after construction and after deserialization.
+func (r *RRR) buildSelectSamples() {
+	nSuper := len(r.superRank) - 1
+	r.selOne = buildSelectSamples(r.ones, nSuper, func(sb int) int {
+		return int(r.superRank[sb])
+	})
+	r.selZero = buildSelectSamples(r.n-r.ones, nSuper, r.zerosBefore)
+}
+
+// zerosBefore returns the number of zero bits before superblock sb.
+func (r *RRR) zerosBefore(sb int) int {
+	b := sb * r.sbRate * r.blockSize
+	if b > r.n {
+		b = r.n
+	}
+	return b - int(r.superRank[sb])
 }
 
 // blockWordFrom extracts block blk (blockSize bits) from the raw words,
@@ -314,8 +339,9 @@ func (r *RRR) Select1(k int) int {
 	if k < 1 || k > r.ones {
 		return -1
 	}
-	// Find the last superblock with cumulative rank < k.
-	lo, hi := 0, len(r.superRank)-1
+	// Narrow to the window between two select samples, then find the last
+	// superblock with cumulative rank < k.
+	lo, hi := selectWindow(r.selOne, k, len(r.superRank)-2)
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
 		if int(r.superRank[mid]) < k {
@@ -347,24 +373,16 @@ func (r *RRR) Select0(k int) int {
 	}
 	// rank0 before superblock sb is sb*sbRate*blockSize - superRank[sb],
 	// except the final partial superblock cannot precede anything here.
-	lo, hi := 0, len(r.superRank)-1
+	lo, hi := selectWindow(r.selZero, k, len(r.superRank)-2)
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		bitsBefore := mid * r.sbRate * r.blockSize
-		if bitsBefore > r.n {
-			bitsBefore = r.n
-		}
-		if bitsBefore-int(r.superRank[mid]) < k {
+		if r.zerosBefore(mid) < k {
 			lo = mid
 		} else {
 			hi = mid - 1
 		}
 	}
-	bitsBefore := lo * r.sbRate * r.blockSize
-	if bitsBefore > r.n {
-		bitsBefore = r.n
-	}
-	rem := k - (bitsBefore - int(r.superRank[lo]))
+	rem := k - r.zerosBefore(lo)
 	pos := uint64(r.superOff[lo])
 	blk := lo * r.sbRate
 	for {
@@ -384,9 +402,11 @@ func (r *RRR) Select0(k int) int {
 	}
 }
 
-// SizeBytes returns the memory footprint of the compressed structure.
+// SizeBytes returns the memory footprint of the compressed structure,
+// select samples included.
 func (r *RRR) SizeBytes() int {
-	return 8*(len(r.classes)+len(r.offsets)) + 4*(len(r.superRank)+len(r.superOff)) + 48
+	return 8*(len(r.classes)+len(r.offsets)) + 4*(len(r.superRank)+len(r.superOff)) +
+		4*(len(r.selOne)+len(r.selZero)) + 48
 }
 
 // BlockSize returns the configured block size b.
@@ -481,5 +501,12 @@ func ReadRRR(rd io.Reader) (*RRR, error) {
 	if r.superOff, err = narrow(rawOff); err != nil {
 		return nil, err
 	}
+	// The select-sample rebuild walks the rank directory up to the ones
+	// count; a stream whose directory disagrees with the header must be
+	// rejected, not walked past.
+	if int(r.superRank[len(r.superRank)-1]) != r.ones {
+		return nil, errors.New("bitvector: RRR rank directory inconsistent with ones count")
+	}
+	r.buildSelectSamples()
 	return r, nil
 }

@@ -1,0 +1,52 @@
+package bitvector
+
+// Select sampling shared by Plain and RRR: on top of the rank superblock
+// directory, both flavours store the superblock index of every
+// selSampleRate-th one and zero. A select query then positions its
+// superblock search between two consecutive samples instead of binary
+// searching the whole directory — a handful of superblocks for dense
+// vectors, and still only O(log(gap)) for adversarially clustered ones.
+//
+// The directories are pure acceleration state: they are derived from the
+// rank superblocks, never serialized, and rebuilt on load. Cost: one
+// uint32 per selSampleRate ones (zeros), i.e. at most n/4096 * 32 bits =
+// o(n) bits on top of the data.
+
+// selSampleRate is the sampling rate of the select directories: one
+// superblock index is stored per selSampleRate ones (and per
+// selSampleRate zeros).
+const selSampleRate = 4096
+
+// buildSelectSamples returns the select directory for one bit kind:
+// sample j holds the index of the superblock containing the
+// (j*selSampleRate+1)-th occurrence. total is the number of occurrences
+// in the vector, nSuper the number of superblocks, and cumBefore(sb) the
+// number of occurrences before superblock sb (cumBefore(nSuper) == total).
+func buildSelectSamples(total, nSuper int, cumBefore func(int) int) []uint32 {
+	if total == 0 {
+		return nil
+	}
+	samples := make([]uint32, (total+selSampleRate-1)/selSampleRate)
+	sb := 0
+	for j := range samples {
+		k := j*selSampleRate + 1
+		for cumBefore(sb+1) < k {
+			sb++
+		}
+		samples[j] = uint32(sb)
+	}
+	return samples
+}
+
+// selectWindow returns the inclusive superblock range [lo, hi] that must
+// contain the k-th occurrence, given the directory built above. lastSuper
+// is the index of the final superblock.
+func selectWindow(samples []uint32, k, lastSuper int) (lo, hi int) {
+	j := (k - 1) / selSampleRate
+	lo = int(samples[j])
+	hi = lastSuper
+	if j+1 < len(samples) {
+		hi = int(samples[j+1])
+	}
+	return lo, hi
+}

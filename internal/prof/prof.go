@@ -1,0 +1,53 @@
+// Package prof wires the -cpuprofile / -memprofile flags of the
+// command-line tools to runtime/pprof, so perf work on the query engine
+// can attach profiles without ad-hoc plumbing in every main.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a stop
+// function that finalizes the CPU profile and, when memPath is non-empty,
+// writes a heap profile. Call stop once, before the process exits; it is
+// the caller's job to report its error. Empty paths disable the
+// respective profile, so callers can pass the flag values through
+// unconditionally.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("write heap profile: %w", err)
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

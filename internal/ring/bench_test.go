@@ -1,0 +1,170 @@
+package ring
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+// Ring-level substrate benchmarks: the Leap / Bind / Enumerate operations
+// the LTJ engine issues on the hot path, measured on both the plain Ring
+// and the RRR-compressed C-Ring over the same random graph.
+
+const (
+	benchTriples = 200_000
+	benchSO      = graph.ID(50_000)
+	benchP       = graph.ID(64)
+)
+
+var sinkInt int
+
+type benchRings struct {
+	g     *graph.Graph
+	plain *Ring
+	cring *Ring
+}
+
+var (
+	benchOnce sync.Once
+	benchEnv  *benchRings
+)
+
+func loadBenchRings() *benchRings {
+	benchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(61))
+		g := testutil.RandomGraph(rng, benchTriples, benchSO, benchP)
+		benchEnv = &benchRings{
+			g:     g,
+			plain: New(g, Options{}),
+			cring: New(g, Options{Compress: true, RRRBlock: 16}),
+		}
+	})
+	return benchEnv
+}
+
+var benchVariants = []struct {
+	name string
+	get  func(*benchRings) *Ring
+}{
+	{"ring", func(e *benchRings) *Ring { return e.plain }},
+	{"c-ring", func(e *benchRings) *Ring { return e.cring }},
+}
+
+// benchSubjects draws existing subject constants so patterns are non-empty.
+func benchSubjects(g *graph.Graph, m int) []graph.ID {
+	rng := rand.New(rand.NewSource(62))
+	ts := g.Triples()
+	out := make([]graph.ID, m)
+	for i := range out {
+		out[i] = ts[rng.Intn(len(ts))].S
+	}
+	return out
+}
+
+// BenchmarkLeapForward drives the forward case of Lemma 3.7: bind the
+// subject of (s, ?p, ?o), then leap over predicates. Each leap is a
+// wavelet Rank + Select pair — the op the select fast path targets.
+func BenchmarkLeapForward(b *testing.B) {
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			e := loadBenchRings()
+			r := v.get(e)
+			subs := benchSubjects(e.g, 1024)
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				ps := r.NewPatternState(graph.TriplePattern{
+					S: graph.Const(subs[i&1023]), P: graph.Var("p"), O: graph.Var("o"),
+				})
+				c := graph.ID(0)
+				for {
+					nxt, ok := ps.Leap(graph.PosP, c)
+					if !ok {
+						break
+					}
+					s += int(nxt)
+					c = nxt + 1
+				}
+			}
+			sinkInt = s
+		})
+	}
+}
+
+// BenchmarkLeapBackward drives the backward case: range-next-value on the
+// zone's wavelet column.
+func BenchmarkLeapBackward(b *testing.B) {
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			e := loadBenchRings()
+			r := v.get(e)
+			subs := benchSubjects(e.g, 1024)
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				ps := r.NewPatternState(graph.TriplePattern{
+					S: graph.Const(subs[i&1023]), P: graph.Var("p"), O: graph.Var("o"),
+				})
+				c := graph.ID(0)
+				for {
+					nxt, ok := ps.Leap(graph.PosO, c)
+					if !ok {
+						break
+					}
+					s += int(nxt)
+					c = nxt + 1
+				}
+			}
+			sinkInt = s
+		})
+	}
+}
+
+// BenchmarkBindUnbind measures one LF-step (Bind backward) plus its undo.
+func BenchmarkBindUnbind(b *testing.B) {
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			e := loadBenchRings()
+			r := v.get(e)
+			subs := benchSubjects(e.g, 1024)
+			ts := e.g.Triples()
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				ps := r.NewPatternState(graph.TriplePattern{
+					S: graph.Const(subs[i&1023]), P: graph.Var("p"), O: graph.Var("o"),
+				})
+				ps.Bind(graph.PosO, ts[i%len(ts)].O)
+				s += ps.Count()
+				ps.Unbind()
+			}
+			sinkInt = s
+		})
+	}
+}
+
+// BenchmarkEnumerate measures the lonely-variable reporting (DistinctInRange).
+func BenchmarkEnumerate(b *testing.B) {
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			e := loadBenchRings()
+			r := v.get(e)
+			subs := benchSubjects(e.g, 1024)
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				ps := r.NewPatternState(graph.TriplePattern{
+					S: graph.Const(subs[i&1023]), P: graph.Var("p"), O: graph.Var("o"),
+				})
+				ps.Enumerate(graph.PosO, func(c graph.ID) bool {
+					s += int(c)
+					return true
+				})
+			}
+			sinkInt = s
+		})
+	}
+}

@@ -1,0 +1,179 @@
+package wavelet
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Sequence-level substrate benchmarks. One shared matrix pair (plain and
+// RRR-compressed levels) over a Zipf-ish sequence that resembles a BWT
+// column: a few very frequent symbols plus a long tail.
+
+const (
+	benchN     = 1 << 19
+	benchSigma = 1 << 14
+)
+
+var (
+	sinkInt  int
+	sinkU64  uint64
+	sinkBool bool
+)
+
+type benchMats struct {
+	seq   []uint64
+	plain *Matrix
+	rrr16 *Matrix
+}
+
+var (
+	benchOnce sync.Once
+	benchEnv  *benchMats
+)
+
+func loadBenchMats() *benchMats {
+	benchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(51))
+		zipf := rand.NewZipf(rng, 1.3, 8, benchSigma-1)
+		seq := make([]uint64, benchN)
+		for i := range seq {
+			seq[i] = zipf.Uint64()
+		}
+		benchEnv = &benchMats{
+			seq:   seq,
+			plain: New(seq, benchSigma, Options{}),
+			rrr16: New(seq, benchSigma, Options{Compress: true, RRRBlock: 16}),
+		}
+	})
+	return benchEnv
+}
+
+var benchVariants = []struct {
+	name string
+	get  func(*benchMats) *Matrix
+}{
+	{"plain", func(e *benchMats) *Matrix { return e.plain }},
+	{"rrr16", func(e *benchMats) *Matrix { return e.rrr16 }},
+}
+
+// benchQueries draws (symbol, k) pairs with k in-range for the symbol, so
+// Select exercises the full descent+ascent, not the early-out.
+func benchQueries(m *Matrix, seq []uint64) (cs []uint64, ks []int) {
+	rng := rand.New(rand.NewSource(52))
+	cs = make([]uint64, 1024)
+	ks = make([]int, 1024)
+	for i := range cs {
+		c := seq[rng.Intn(len(seq))]
+		cs[i] = c
+		ks[i] = 1 + rng.Intn(m.Rank(c, m.Len()))
+	}
+	return cs, ks
+}
+
+func BenchmarkWaveletAccess(b *testing.B) {
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			e := loadBenchMats()
+			m := v.get(e)
+			is := rand.New(rand.NewSource(53)).Perm(1024)
+			b.ResetTimer()
+			var s uint64
+			for i := 0; i < b.N; i++ {
+				s += m.Access(is[i&1023] * (benchN / 1024))
+			}
+			sinkU64 = s
+		})
+	}
+}
+
+func BenchmarkWaveletRank(b *testing.B) {
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			e := loadBenchMats()
+			m := v.get(e)
+			cs, _ := benchQueries(m, e.seq)
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				s += m.Rank(cs[i&1023], benchN/2)
+			}
+			sinkInt = s
+		})
+	}
+}
+
+func BenchmarkWaveletRank2(b *testing.B) {
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			e := loadBenchMats()
+			m := v.get(e)
+			cs, _ := benchQueries(m, e.seq)
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				lo, hi := m.Rank2(cs[i&1023], benchN/4, 3*benchN/4)
+				s += hi - lo
+			}
+			sinkInt = s
+		})
+	}
+}
+
+func BenchmarkWaveletSelect(b *testing.B) {
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			e := loadBenchMats()
+			m := v.get(e)
+			cs, ks := benchQueries(m, e.seq)
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				s += m.Select(cs[i&1023], ks[i&1023])
+			}
+			sinkInt = s
+		})
+	}
+}
+
+func BenchmarkWaveletRangeNext(b *testing.B) {
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			e := loadBenchMats()
+			m := v.get(e)
+			cs, _ := benchQueries(m, e.seq)
+			b.ResetTimer()
+			var s uint64
+			for i := 0; i < b.N; i++ {
+				val, ok := m.RangeNextValue(benchN/4, 3*benchN/4, cs[i&1023])
+				if ok {
+					s += val
+				}
+			}
+			sinkU64 = s
+		})
+	}
+}
+
+func BenchmarkWaveletDistinct(b *testing.B) {
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			e := loadBenchMats()
+			m := v.get(e)
+			b.ResetTimer()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				lo := (i * 509) & (benchN - 1)
+				hi := lo + 512
+				if hi > benchN {
+					hi = benchN
+				}
+				m.DistinctInRange(lo, hi, func(c uint64, cnt int) bool {
+					s += cnt
+					return true
+				})
+			}
+			sinkInt = s
+		})
+	}
+}

@@ -52,6 +52,15 @@ func (m *Matrix) rank1(l uint, i int) int {
 	return m.levels[l].Rank1(i)
 }
 
+// get reads level bit i through the concrete type when possible, same
+// devirtualization pattern as rank1.
+func (m *Matrix) get(l uint, i int) bool {
+	if m.plains != nil {
+		return m.plains[l].Get(i)
+	}
+	return m.levels[l].Get(i)
+}
+
 // setLevels installs the level bitvectors and the devirtualized view.
 func (m *Matrix) setLevels(levels []bitvector.Vector) {
 	m.levels = levels
@@ -154,7 +163,7 @@ func (m *Matrix) Access(i int) uint64 {
 	var v uint64
 	for l := uint(0); l < m.width; l++ {
 		v <<= 1
-		if m.levels[l].Get(i) {
+		if m.get(l, i) {
 			v |= 1
 			i = m.zeros[l] + m.rank1(l, i)
 		} else {
@@ -221,21 +230,38 @@ func (m *Matrix) Select(c uint64, k int) int {
 	if c >= m.sigma || k < 1 {
 		return -1
 	}
-	// Descend with the start-of-block pointer.
-	s := 0
+	// Single descent tracking both endpoints of c's block (Rank2-style):
+	// s is the block start, e its end, so e-s is the number of occurrences
+	// of c in the whole sequence and no separate Rank(c, n) pass is needed
+	// to validate k.
+	s, e := 0, m.n
 	for l := uint(0); l < m.width; l++ {
 		if (c>>(m.width-1-l))&1 == 1 {
-			s = m.zeros[l] + m.rank1(l, s)
+			z := m.zeros[l]
+			s = z + m.rank1(l, s)
+			e = z + m.rank1(l, e)
 		} else {
 			s -= m.rank1(l, s)
+			e -= m.rank1(l, e)
 		}
 	}
-	pos := s + k - 1
-	// pos must stay within c's block; verify via a rank of the full sequence.
-	if cnt := m.Rank(c, m.n); k > cnt {
+	if k > e-s {
 		return -1
 	}
-	// Ascend.
+	pos := s + k - 1
+	// Ascend. k <= e-s guarantees pos stays inside c's block at every
+	// level, so the selects cannot fail on the devirtualized path.
+	if m.plains != nil {
+		for l := int(m.width) - 1; l >= 0; l-- {
+			B := m.plains[l]
+			if (c>>(m.width-1-uint(l)))&1 == 1 {
+				pos = B.Select1(pos - m.zeros[l] + 1)
+			} else {
+				pos = B.Select0(pos + 1)
+			}
+		}
+		return pos
+	}
 	for l := int(m.width) - 1; l >= 0; l-- {
 		B := m.levels[l]
 		if (c>>(m.width-1-uint(l)))&1 == 1 {
@@ -271,37 +297,60 @@ func (m *Matrix) RangeNextValue(lo, hi int, c uint64) (uint64, bool) {
 	if lo >= hi || c >= m.sigma {
 		return 0, false
 	}
-	return m.rangeNext(0, lo, hi, 0, c, true)
+	return m.rangeNext(lo, hi, c)
 }
 
-// rangeNext finds the smallest value with the accumulated bit prefix that is
-// ≥ c (when tight) or simply the minimum of the subtree (when !tight),
-// restricted to positions [lo, hi) of the level-l sequence.
-func (m *Matrix) rangeNext(l uint, lo, hi int, prefix, c uint64, tight bool) (uint64, bool) {
-	if lo >= hi {
+// rangeNext finds the smallest value ≥ c among positions [lo, hi).
+//
+// It descends along c's bit path. At a level where c's bit is 0, the
+// 1-child subtree holds values sharing the prefix so far but larger than
+// c; because node cardinalities are preserved level to level, a non-empty
+// sibling stays non-empty all the way down, and a deeper sibling always
+// holds smaller values than a shallower one. So one fallback — the
+// deepest non-empty 1-sibling seen — suffices: if the tight path dies,
+// resume there with an unconstrained minimum descent (a plain loop).
+func (m *Matrix) rangeNext(lo, hi int, c uint64) (uint64, bool) {
+	var fbL uint
+	var fbLo, fbHi int
+	var fbPrefix uint64
+	haveFB := false
+
+	l, prefix := uint(0), uint64(0)
+	for lo < hi {
+		if l == m.width {
+			return prefix, true // c itself occurs in the range
+		}
+		r1lo, r1hi := m.rank1(l, lo), m.rank1(l, hi)
+		if (c>>(m.width-1-l))&1 == 0 {
+			if lo1, hi1 := m.zeros[l]+r1lo, m.zeros[l]+r1hi; lo1 < hi1 {
+				fbL, fbLo, fbHi, fbPrefix = l+1, lo1, hi1, prefix<<1|1
+				haveFB = true
+			}
+			lo, hi = lo-r1lo, hi-r1hi
+			prefix <<= 1
+		} else {
+			lo, hi = m.zeros[l]+r1lo, m.zeros[l]+r1hi
+			prefix = prefix<<1 | 1
+		}
+		l++
+	}
+	if !haveFB {
 		return 0, false
 	}
-	if l == m.width {
-		return prefix, true
-	}
-	r1lo, r1hi := m.rank1(l, lo), m.rank1(l, hi)
-	lo0, hi0 := lo-r1lo, hi-r1hi // rank0 via rank1
-	lo1, hi1 := m.zeros[l]+r1lo, m.zeros[l]+r1hi
-
-	if !tight {
-		// Unconstrained minimum: leftmost non-empty child wins.
-		if v, ok := m.rangeNext(l+1, lo0, hi0, prefix<<1, c, false); ok {
-			return v, ok
+	// Unconstrained minimum of the fallback subtree: the leftmost child is
+	// never empty below a non-empty node, so no further backtracking.
+	l, lo, hi, prefix = fbL, fbLo, fbHi, fbPrefix
+	for ; l < m.width; l++ {
+		r1lo, r1hi := m.rank1(l, lo), m.rank1(l, hi)
+		if lo-r1lo < hi-r1hi {
+			lo, hi = lo-r1lo, hi-r1hi
+			prefix <<= 1
+		} else {
+			lo, hi = m.zeros[l]+r1lo, m.zeros[l]+r1hi
+			prefix = prefix<<1 | 1
 		}
-		return m.rangeNext(l+1, lo1, hi1, prefix<<1|1, c, false)
 	}
-	if (c>>(m.width-1-l))&1 == 0 {
-		if v, ok := m.rangeNext(l+1, lo0, hi0, prefix<<1, c, true); ok {
-			return v, ok
-		}
-		return m.rangeNext(l+1, lo1, hi1, prefix<<1|1, c, false)
-	}
-	return m.rangeNext(l+1, lo1, hi1, prefix<<1|1, c, true)
+	return prefix, true
 }
 
 // DistinctInRange calls visit once per distinct symbol occurring in
@@ -317,21 +366,44 @@ func (m *Matrix) DistinctInRange(lo, hi int, visit func(c uint64, count int) boo
 	if lo >= hi {
 		return
 	}
-	m.distinct(0, lo, hi, 0, visit)
+	m.distinct(lo, hi, visit)
 }
 
-func (m *Matrix) distinct(l uint, lo, hi int, prefix uint64, visit func(uint64, int) bool) bool {
-	if lo >= hi {
-		return true
+// distinct enumerates the distinct symbols of [lo, hi) in increasing
+// order with an explicit-stack DFS: at each node the 1-child is parked on
+// the stack and the walk continues into the 0-child, so symbols surface
+// in sorted order. The stack holds at most one pending sibling per level
+// (width ≤ 64), so it lives on the goroutine stack — no allocation, no
+// recursive call overhead.
+func (m *Matrix) distinct(lo, hi int, visit func(uint64, int) bool) {
+	type node struct {
+		l      uint
+		lo, hi int
+		prefix uint64
 	}
-	if l == m.width {
-		return visit(prefix, hi-lo)
+	var stack [64]node
+	top := 0
+	cur := node{0, lo, hi, 0}
+	for {
+		if cur.lo < cur.hi {
+			if cur.l < m.width {
+				r1lo, r1hi := m.rank1(cur.l, cur.lo), m.rank1(cur.l, cur.hi)
+				z := m.zeros[cur.l]
+				stack[top] = node{cur.l + 1, z + r1lo, z + r1hi, cur.prefix<<1 | 1}
+				top++
+				cur = node{cur.l + 1, cur.lo - r1lo, cur.hi - r1hi, cur.prefix << 1}
+				continue
+			}
+			if !visit(cur.prefix, cur.hi-cur.lo) {
+				return
+			}
+		}
+		if top == 0 {
+			return
+		}
+		top--
+		cur = stack[top]
 	}
-	r1lo, r1hi := m.rank1(l, lo), m.rank1(l, hi)
-	if !m.distinct(l+1, lo-r1lo, hi-r1hi, prefix<<1, visit) {
-		return false
-	}
-	return m.distinct(l+1, m.zeros[l]+r1lo, m.zeros[l]+r1hi, prefix<<1|1, visit)
 }
 
 // SizeBytes returns the total in-memory footprint of the matrix.

@@ -1,6 +1,7 @@
 #!/bin/sh
-# CI gate: formatting, vet, build, tests, and the race-detector lane
-# over the parallel LTJ engine and the shared-ring fork tests.
+# CI gate: formatting, vet, build, tests, the race-detector lane over
+# the parallel LTJ engine and the shared-ring fork tests, and a
+# compile-and-smoke pass over every benchmark (one iteration each).
 # Equivalent to `make check`; kept as a script for environments
 # without make.
 set -eu
@@ -25,5 +26,8 @@ go test ./...
 
 echo "== go test -race (parallel engine lane)"
 go test -race -run 'Parallel|Stream' ./internal/ltj/... ./internal/ring/...
+
+echo "== bench smoke (compile and run every benchmark once)"
+go test -run '^$' -bench . -benchtime 1x ./...
 
 echo "all checks passed"
