@@ -1,29 +1,33 @@
 # Repo checks. `make check` is the full CI gate; the individual targets
 # exist so a failing stage can be rerun alone.
 #
-#   make fmt    gofmt diff check (fails listing unformatted files)
+#   make fmt    gofmt -s diff check (fails listing unformatted files)
 #   make vet    go vet
+#   make lint   ringlint, the repo-specific static analyzers (hotpath,
+#               derivedstate, forksafe, truncation) over the whole module
 #   make build  compile everything
-#   make test   full test suite (includes the fuzz seed corpora)
-#   make race   race-detector lane over the concurrent engine and the
-#               shared-ring fork tests (the parallel LTJ surface)
+#   make test   full test suite, shuffled (includes the fuzz seed corpora)
+#   make test-debug  internal packages with the ringdebug assertion tag
+#               (rank/select inverses, wavelet range sanity, leap ordering)
+#   make race   race-detector lane over the full module (~4m on a
+#               single-CPU container; rerun alone when iterating)
 #   make bench  the parallel-LTJ sweep benchmark, one iteration
 #   make bench-smoke      compile-and-run every benchmark once (catches
 #                         bit-rotted benchmarks without paying full runs)
 #   make bench-substrate  the rank/select substrate microbenchmarks
 #                         (bits, bitvector, wavelet, ring Leap/Bind);
 #                         benchstat-friendly: set BENCH_COUNT>=10 to compare
-#   make check  fmt + vet + build + test + race + bench-smoke
+#   make check  fmt + vet + lint + build + test + test-debug + race + bench-smoke
 
 GO ?= go
 BENCH_COUNT ?= 1
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-substrate
+.PHONY: check fmt vet lint build test test-debug race bench bench-smoke bench-substrate
 
-check: fmt vet build test race bench-smoke
+check: fmt vet lint build test test-debug race bench-smoke
 
 fmt:
-	@unformatted=$$(gofmt -l .); \
+	@unformatted=$$(gofmt -s -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
@@ -31,14 +35,20 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/ringlint ./...
+
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
+
+test-debug:
+	$(GO) test -tags ringdebug ./internal/...
 
 race:
-	$(GO) test -race -run 'Parallel|Stream' ./internal/ltj/... ./internal/ring/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test . -run XXX -bench 'BenchmarkParallelLTJ' -benchtime 1x

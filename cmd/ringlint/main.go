@@ -1,0 +1,84 @@
+// Command ringlint runs the repo-specific static-analysis suite of
+// internal/lint over the module: hotpath (annotated leap/rank/select
+// paths must stay allocation- and dispatch-free), derivedstate (derived
+// select/rank directories are never serialized and always rebuilt on
+// load), forksafe (Fork implementations must not share mutable state),
+// and truncation (uint64 header values must be range-checked before
+// narrowing in deserializers).
+//
+// Usage:
+//
+//	go run ./cmd/ringlint ./...
+//	go run ./cmd/ringlint internal/lint/testdata/src/hotpath
+//
+// Arguments are package patterns: "./..." loads every package of the
+// module (the CI lane), a directory path loads that single package (how
+// the analyzer fixtures are exercised). With no arguments, "./..." is
+// assumed. Exits 1 when any diagnostic is reported, printing one
+// file:line:col: [analyzer] message line each.
+//
+// The tool is stdlib-only (go/ast, go/parser, go/types); the module has
+// zero external dependencies and must stay that way.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ringlint [-only analyzers] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name()] {
+				filtered = append(filtered, a)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "ringlint: no analyzer matches -only=%s\n", *only)
+			os.Exit(2)
+		}
+		analyzers = filtered
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ringlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -85,7 +85,7 @@ func (idx *Index) NewPatternIter(tp graph.TriplePattern) ltj.PatternIter {
 // prefix sequence, so the iterator can hop between trees as new positions
 // are bound.
 type patternIter struct {
-	idx    *Index
+	idx    *Index //ringlint:shared-immutable -- the six trees are immutable after construction
 	prefix []graph.Position
 	vals   []graph.ID
 	lo, hi int

@@ -110,7 +110,7 @@ func (idx *Index) NewPatternIter(tp graph.TriplePattern) ltj.PatternIter {
 // the matching triples then form a contiguous range of that trie found by
 // binary search.
 type patternIter struct {
-	idx    *Index
+	idx    *Index           //ringlint:shared-immutable -- the six sorted arrays are immutable after construction
 	prefix []graph.Position // bound positions in binding order
 	vals   []graph.ID       // their values
 	frames []fframe

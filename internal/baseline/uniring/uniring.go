@@ -68,7 +68,7 @@ func (idx *Index) NewPatternIter(tp graph.TriplePattern) ltj.PatternIter {
 // recomputed by anchoring the bound set in whichever cyclic order covers
 // it (O(d log U) per operation, the unidirectional regime's price).
 type patternIter struct {
-	idx   *Index
+	idx   *Index //ringlint:shared-immutable -- the d-ary ring is immutable after construction
 	bound map[int]ringhd.Value
 	order []int // bind order, for Unbind
 }

@@ -45,6 +45,8 @@ func init() {
 // The implementation is branchless broadword (SWAR): byte-wise prefix
 // popcounts locate the target byte with a parallel comparison against k,
 // and a 2 KiB table finishes inside the byte.
+//
+//ringlint:hotpath
 func Select64(w uint64, k int) int {
 	if k < 0 || k >= mbits.OnesCount64(w) {
 		return 64
@@ -66,12 +68,16 @@ func Select64(w uint64, k int) int {
 
 // Select64Zero returns the position of the (k+1)-th zero bit of w, or 64 if
 // w has fewer than k+1 zeros.
+//
+//ringlint:hotpath
 func Select64Zero(w uint64, k int) int {
 	return Select64(^w, k)
 }
 
 // ReadBits reads width bits (1..64) starting at absolute bit offset pos from
 // the word slice data. Bits beyond the end of data are read as zero.
+//
+//ringlint:hotpath
 func ReadBits(data []uint64, pos uint64, width uint) uint64 {
 	if width == 0 {
 		return 0

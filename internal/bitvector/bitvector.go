@@ -63,13 +63,21 @@ const superWords = superBits / 64
 type Plain struct {
 	words []uint64
 	n     int
+
+	// Rank directory, derived from words by buildDirectory: rebuilt on
+	// load, never serialized.
+	//ringlint:derived
 	super []uint64 // super[j] = Rank1(j*superBits)
-	sub   []uint16 // sub[w] = ones in the superblock before word w
-	ones  int
+	//ringlint:derived
+	sub []uint16 // sub[w] = ones in the superblock before word w
+	//ringlint:derived
+	ones int
 
 	// Select directories (see select.go): superblock index of every
 	// selSampleRate-th one and zero. Rebuilt on load, never serialized.
-	selOne  []uint32
+	//ringlint:derived
+	selOne []uint32
+	//ringlint:derived
 	selZero []uint32
 }
 
@@ -146,6 +154,8 @@ func (p *Plain) Len() int { return p.n }
 func (p *Plain) Ones() int { return p.ones }
 
 // Get reports whether bit i is set.
+//
+//ringlint:hotpath
 func (p *Plain) Get(i int) bool {
 	if i < 0 || i >= p.n {
 		panic(fmt.Sprintf("bitvector: Get(%d) out of range [0,%d)", i, p.n))
@@ -154,6 +164,8 @@ func (p *Plain) Get(i int) bool {
 }
 
 // Rank1 returns the number of ones in [0, i), in constant time.
+//
+//ringlint:hotpath
 func (p *Plain) Rank1(i int) int {
 	if i <= 0 {
 		return 0
@@ -170,6 +182,8 @@ func (p *Plain) Rank1(i int) int {
 }
 
 // Rank0 returns the number of zeros in [0, i).
+//
+//ringlint:hotpath
 func (p *Plain) Rank0(i int) int {
 	if i <= 0 {
 		return 0
@@ -181,9 +195,14 @@ func (p *Plain) Rank0(i int) int {
 }
 
 // Select1 returns the position of the k-th one (1-based), or -1.
+//
+//ringlint:hotpath
 func (p *Plain) Select1(k int) int {
 	if k < 1 || k > p.ones {
 		return -1
+	}
+	if ringdebugEnabled {
+		p.debugCheckDirectory()
 	}
 	// Narrow to the window between two select samples, then binary search
 	// it for the last superblock whose cumulative rank is < k.
@@ -206,14 +225,23 @@ func (p *Plain) Select1(k int) int {
 	for w+1 < end && int(p.sub[w+1]) < rem {
 		w++
 	}
-	return w*64 + bits.Select64(p.words[w], rem-int(p.sub[w])-1)
+	res := w*64 + bits.Select64(p.words[w], rem-int(p.sub[w])-1)
+	if ringdebugEnabled {
+		p.debugCheckSelect(k, res, true)
+	}
+	return res
 }
 
 // Select0 returns the position of the k-th zero (1-based), or -1.
+//
+//ringlint:hotpath
 func (p *Plain) Select0(k int) int {
 	zeros := p.n - p.ones
 	if k < 1 || k > zeros {
 		return -1
+	}
+	if ringdebugEnabled {
+		p.debugCheckDirectory()
 	}
 	// rank0 at superblock j is j*superBits - super[j].
 	lo, hi := selectWindow(p.selZero, k, len(p.super)-2)
@@ -242,7 +270,11 @@ func (p *Plain) Select0(k int) int {
 		word |= ^uint64(0) << uint(hiBit)
 	}
 	rem -= (w-start)*64 - int(p.sub[w])
-	return w*64 + bits.Select64(^word, rem-1)
+	res := w*64 + bits.Select64(^word, rem-1)
+	if ringdebugEnabled {
+		p.debugCheckSelect(k, res, false)
+	}
+	return res
 }
 
 // SizeBytes returns the memory footprint including the rank directory and

@@ -37,9 +37,13 @@ type RRR struct {
 
 	// Select directories (see select.go): superblock index of every
 	// selSampleRate-th one and zero. Rebuilt on load, never serialized.
-	selOne  []uint32
+	//ringlint:derived
+	selOne []uint32
+	//ringlint:derived
 	selZero []uint32
 
+	// Shared per-block-size decode tables, reattached on load.
+	//ringlint:derived
 	tab *binomTable
 }
 
@@ -105,6 +109,8 @@ func (t *binomTable) buildDecodeTable() {
 // lookup plus a popcount; for large blocks it decodes positions from the
 // highest down and exits as soon as the remaining ones must all lie below
 // rem.
+//
+//ringlint:hotpath
 func (t *binomTable) rankInBlock(class int, off uint64, rem uint) int {
 	if t.dec != nil {
 		return mbits.OnesCount64(uint64(t.dec[class][off]) & ((1 << rem) - 1))
@@ -139,6 +145,8 @@ func (t *binomTable) encodeBlock(w uint64) uint64 {
 }
 
 // decodeBlock reconstructs the block word from its class and offset.
+//
+//ringlint:hotpath
 func (t *binomTable) decodeBlock(class int, off uint64) uint64 {
 	if t.dec != nil {
 		return uint64(t.dec[class][off])
@@ -251,12 +259,15 @@ func (r *RRR) blockWordFrom(words []uint64, blk int) uint64 {
 	return w
 }
 
+//ringlint:hotpath
 func (r *RRR) class(blk int) int {
 	return int(bits.ReadBits(r.classes, uint64(blk)*uint64(r.classWidth), r.classWidth))
 }
 
 // blockAt decodes block blk given the bit position of its offset in the
 // offset stream.
+//
+//ringlint:hotpath
 func (r *RRR) blockAt(blk int, offPos uint64) uint64 {
 	c := r.class(blk)
 	wd := r.tab.width[c]
@@ -269,6 +280,8 @@ func (r *RRR) blockAt(blk int, offPos uint64) uint64 {
 
 // seekBlock walks from blk's superblock boundary to blk, returning the
 // cumulative rank before blk and the offset-stream position of blk.
+//
+//ringlint:hotpath
 func (r *RRR) seekBlock(blk int) (rankBefore int, offPos uint64) {
 	sb := blk / r.sbRate
 	rank := uint64(r.superRank[sb])
@@ -291,6 +304,8 @@ func (r *RRR) Len() int { return r.n }
 func (r *RRR) Ones() int { return r.ones }
 
 // Get reports whether bit i is set.
+//
+//ringlint:hotpath
 func (r *RRR) Get(i int) bool {
 	if i < 0 || i >= r.n {
 		panic(fmt.Sprintf("bitvector: Get(%d) out of range [0,%d)", i, r.n))
@@ -302,6 +317,8 @@ func (r *RRR) Get(i int) bool {
 }
 
 // Rank1 returns the number of ones in [0, i).
+//
+//ringlint:hotpath
 func (r *RRR) Rank1(i int) int {
 	if i <= 0 {
 		return 0
@@ -324,6 +341,8 @@ func (r *RRR) Rank1(i int) int {
 }
 
 // Rank0 returns the number of zeros in [0, i).
+//
+//ringlint:hotpath
 func (r *RRR) Rank0(i int) int {
 	if i <= 0 {
 		return 0
@@ -335,9 +354,14 @@ func (r *RRR) Rank0(i int) int {
 }
 
 // Select1 returns the position of the k-th one (1-based), or -1.
+//
+//ringlint:hotpath
 func (r *RRR) Select1(k int) int {
 	if k < 1 || k > r.ones {
 		return -1
+	}
+	if ringdebugEnabled {
+		r.debugCheckDirectory()
 	}
 	// Narrow to the window between two select samples, then find the last
 	// superblock with cumulative rank < k.
@@ -357,7 +381,11 @@ func (r *RRR) Select1(k int) int {
 		c := r.class(blk)
 		if rem <= c {
 			w := r.blockAt(blk, pos)
-			return blk*r.blockSize + bits.Select64(w, rem-1)
+			res := blk*r.blockSize + bits.Select64(w, rem-1)
+			if ringdebugEnabled {
+				r.debugCheckSelect(k, res, true)
+			}
+			return res
 		}
 		rem -= c
 		pos += uint64(r.tab.width[c])
@@ -366,10 +394,15 @@ func (r *RRR) Select1(k int) int {
 }
 
 // Select0 returns the position of the k-th zero (1-based), or -1.
+//
+//ringlint:hotpath
 func (r *RRR) Select0(k int) int {
 	zeros := r.n - r.ones
 	if k < 1 || k > zeros {
 		return -1
+	}
+	if ringdebugEnabled {
+		r.debugCheckDirectory()
 	}
 	// rank0 before superblock sb is sb*sbRate*blockSize - superRank[sb],
 	// except the final partial superblock cannot precede anything here.
@@ -394,7 +427,11 @@ func (r *RRR) Select0(k int) int {
 		z := blkLen - c
 		if rem <= z {
 			w := r.blockAt(blk, pos)
-			return blk*r.blockSize + bits.Select64(^w, rem-1)
+			res := blk*r.blockSize + bits.Select64(^w, rem-1)
+			if ringdebugEnabled {
+				r.debugCheckSelect(k, res, false)
+			}
+			return res
 		}
 		rem -= z
 		pos += uint64(r.tab.width[c])

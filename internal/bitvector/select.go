@@ -41,6 +41,8 @@ func buildSelectSamples(total, nSuper int, cumBefore func(int) int) []uint32 {
 // selectWindow returns the inclusive superblock range [lo, hi] that must
 // contain the k-th occurrence, given the directory built above. lastSuper
 // is the index of the final superblock.
+//
+//ringlint:hotpath
 func selectWindow(samples []uint32, k, lastSuper int) (lo, hi int) {
 	j := (k - 1) / selSampleRate
 	lo = int(samples[j])

@@ -64,6 +64,8 @@ func (s *Sparse) Len() int { return s.m }
 func (s *Sparse) Ones() int { return s.n }
 
 // value returns the position of the j-th one (0-based j).
+//
+//ringlint:hotpath
 func (s *Sparse) value(j int) int {
 	hp := s.high.Select1(j + 1)
 	hi := hp - j
@@ -75,6 +77,8 @@ func (s *Sparse) value(j int) int {
 }
 
 // Select1 returns the position of the k-th one (1-based), or -1.
+//
+//ringlint:hotpath
 func (s *Sparse) Select1(k int) int {
 	if k < 1 || k > s.n {
 		return -1

@@ -63,6 +63,8 @@ func (v *Vector) Len() int { return v.n }
 func (v *Vector) Width() uint { return v.width }
 
 // Get returns the i-th value.
+//
+//ringlint:hotpath
 func (v *Vector) Get(i int) uint64 {
 	if i < 0 || i >= v.n {
 		panic(fmt.Sprintf("intvec: Get(%d) out of range [0,%d)", i, v.n))
@@ -85,6 +87,8 @@ func (v *Vector) All() []uint64 {
 // SearchPrefix performs a binary search over a vector whose values are
 // non-decreasing, returning the smallest index i with Get(i) >= x, or
 // Len() if none.
+//
+//ringlint:hotpath
 func (v *Vector) SearchPrefix(x uint64) int {
 	lo, hi := 0, v.n
 	for lo < hi {

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// forksafe checks every Fork method (the trieiter.Forkable capability the
+// parallel LTJ engine relies on): the fork handed to another goroutine
+// must not share mutable state with the receiver. Concretely, every
+// reference-typed field of the receiver struct — slice, map, pointer,
+// chan, func or interface — must either be freshly built in the fork
+// (append-copy, make, a constructor call) or be tagged
+// //ringlint:shared-immutable, documenting that the pointee is immutable
+// after construction (the index structures the iterators share
+// read-only).
+//
+// Two construction shapes are recognised: composite literals
+// (&T{f: append([]E(nil), it.f...), ...}) and the value-copy idiom
+// (cp := *it; cp.f = append(...)). A composite-literal entry that merely
+// copies the receiver's field, or a value copy whose reference field is
+// never reassigned, is a shared-state finding.
+type forksafe struct{}
+
+func (forksafe) Name() string { return "forksafe" }
+
+func (forksafe) Run(pkg *Package) []Diagnostic {
+	shared := structFieldsWithDirective(pkg, "shared-immutable")
+	sharedVars := make(map[*types.Var]bool)
+	for _, vars := range shared {
+		for _, v := range vars {
+			sharedVars[v] = true
+		}
+	}
+
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Fork" || fd.Body == nil {
+				continue
+			}
+			named := recvNamed(fd, pkg)
+			if named == nil {
+				continue
+			}
+			out = append(out, checkFork(pkg, fd, named, sharedVars)...)
+		}
+	}
+	return out
+}
+
+func checkFork(pkg *Package, fd *ast.FuncDecl, named *types.Named, sharedVars map[*types.Var]bool) []Diagnostic {
+	st := named.Underlying().(*types.Struct)
+	refFields := make(map[*types.Var]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		fv := st.Field(i)
+		if sharedVars[fv] || !isReferenceType(fv.Type()) {
+			continue
+		}
+		refFields[fv] = true
+	}
+	if len(refFields) == 0 {
+		return nil
+	}
+
+	recvObj := receiverVar(pkg, fd)
+
+	var out []Diagnostic
+	handled := make(map[*types.Var]bool)    // freshly rebuilt in the fork
+	violated := make(map[*types.Var]bool)   // reported at a specific site
+	var structCopies []*ast.AssignStmt      // cp := *recv sites
+	copyVars := make(map[types.Object]bool) // the cp objects
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// cp := *recv — a value copy shares every reference field
+			// until it is reassigned.
+			for i, rhs := range n.Rhs {
+				star, ok := rhs.(*ast.StarExpr)
+				if !ok || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := star.X.(*ast.Ident); ok && recvObj != nil && pkg.Info.Uses[id] == recvObj {
+					if lhs, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := pkg.Info.Defs[lhs]; obj != nil {
+							copyVars[obj] = true
+							structCopies = append(structCopies, n)
+						}
+					}
+				}
+			}
+			// cp.f = <fresh expr> marks f handled.
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				v, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+				if !ok || !refFields[v] {
+					continue
+				}
+				if i < len(n.Rhs) && isFreshExpr(n.Rhs[i]) {
+					handled[v] = true
+				} else if i < len(n.Rhs) {
+					violated[v] = true
+					out = append(out, diag(pkg, "forksafe", n.Rhs[i],
+						"Fork on %s shares reference field %s (deep-copy it or tag it //ringlint:shared-immutable)",
+						named.Obj().Name(), v.Name()))
+				}
+			}
+		case *ast.CompositeLit:
+			t := pkg.Info.Types[n].Type
+			if t == nil {
+				return true
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if t != types.Type(named) {
+				return true
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := pkg.Info.Uses[key].(*types.Var)
+				if !ok || !refFields[v] {
+					continue
+				}
+				if isFreshExpr(kv.Value) {
+					handled[v] = true
+				} else {
+					violated[v] = true
+					out = append(out, diag(pkg, "forksafe", kv.Value,
+						"Fork on %s shares reference field %s (deep-copy it or tag it //ringlint:shared-immutable)",
+						named.Obj().Name(), v.Name()))
+				}
+			}
+		}
+		return true
+	})
+
+	// A struct copy shares every reference field that was never rebuilt.
+	if len(structCopies) > 0 {
+		for fv := range refFields {
+			if !handled[fv] && !violated[fv] {
+				out = append(out, diag(pkg, "forksafe", structCopies[0],
+					"Fork on %s copies the struct but never rebuilds reference field %s (deep-copy it or tag it //ringlint:shared-immutable)",
+					named.Obj().Name(), fv.Name()))
+			}
+		}
+	}
+	return out
+}
+
+// receiverVar returns the receiver's types.Var, or nil for an anonymous
+// receiver.
+func receiverVar(pkg *Package, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// isReferenceType reports whether values of t alias underlying storage
+// when copied.
+func isReferenceType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// isFreshExpr reports whether the expression plausibly builds fresh
+// storage: anything containing a call (append, make, a clone helper, a
+// recursive Fork) or a composite literal. A bare selector or identifier
+// copies the reference.
+func isFreshExpr(e ast.Expr) bool {
+	fresh := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.CallExpr, *ast.CompositeLit:
+			fresh = true
+			return false
+		}
+		return true
+	})
+	return fresh
+}

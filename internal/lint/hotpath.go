@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpath enforces that functions annotated //ringlint:hotpath stay
+// allocation- and dispatch-free: no interface method calls (the PR 2
+// devirtualization must not silently regress), no closures, no defer, no
+// map operations, and no appends other than the amortized self-append
+// push idiom `x = append(x, ...)`. The `allow-dispatch` directive option
+// waives only the interface-call rule, for functions that are
+// interface-generic by design; single known dispatches are better
+// documented with a per-line //ringlint:allow hotpath comment.
+type hotpath struct{}
+
+func (hotpath) Name() string { return "hotpath" }
+
+func (hotpath) Run(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		fileArgs, fileWide := fileHasDirective(pkg, f, "hotpath")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			args, annotated := groupDirective(fd.Doc, "hotpath")
+			if !annotated {
+				if !fileWide {
+					continue
+				}
+				args = fileArgs
+			}
+			allowDispatch := hasOption(args, "allow-dispatch")
+			out = append(out, checkHotFunc(pkg, fd, allowDispatch)...)
+		}
+	}
+	return out
+}
+
+func hasOption(args, opt string) bool {
+	for _, f := range strings.Fields(args) {
+		if f == opt {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pkg *Package, fd *ast.FuncDecl, allowDispatch bool) []Diagnostic {
+	var out []Diagnostic
+	name := fd.Name.Name
+	parents := buildParents(fd.Body)
+	report := func(node ast.Node, format string, args ...interface{}) {
+		out = append(out, diag(pkg, "hotpath", node, "%s: "+format, append([]interface{}{name}, args...)...))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "closure allocated on a hot path")
+			return false // the closure body is not part of the hot path
+		case *ast.DeferStmt:
+			report(n, "defer on a hot path")
+		case *ast.CallExpr:
+			checkHotCall(pkg, n, parents, allowDispatch, report)
+		case *ast.IndexExpr:
+			if isMapType(pkg, n.X) {
+				report(n, "map access on a hot path")
+			}
+		case *ast.RangeStmt:
+			if isMapType(pkg, n.X) {
+				report(n, "map iteration on a hot path")
+			}
+		case *ast.CompositeLit:
+			if t := pkg.Info.Types[n].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					report(n, "map literal allocated on a hot path")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkHotCall(pkg *Package, call *ast.CallExpr, parents map[ast.Node]ast.Node, allowDispatch bool, report func(ast.Node, string, ...interface{})) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "append":
+				if !isSelfAppend(call, parents) {
+					report(call, "append that is not a self-append push (allocates a new backing array)")
+				}
+			case "delete":
+				report(call, "map delete on a hot path")
+			case "make":
+				if len(call.Args) > 0 {
+					if t := pkg.Info.Types[call.Args[0]].Type; t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							report(call, "map allocation on a hot path")
+						}
+					}
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if allowDispatch {
+			return
+		}
+		sel, ok := pkg.Info.Selections[fun]
+		if !ok || sel.Kind() != types.MethodVal {
+			return
+		}
+		if types.IsInterface(sel.Recv()) || interfaceMethod(sel.Obj()) {
+			report(call, "interface method call %s.%s (dynamic dispatch on a hot path)",
+				types.TypeString(sel.Recv(), types.RelativeTo(pkg.Types)), sel.Obj().Name())
+		}
+	}
+}
+
+// interfaceMethod reports whether obj is declared on an interface (covers
+// methods promoted from an interface embedded in a struct).
+func interfaceMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && types.IsInterface(recv.Type())
+}
+
+// isSelfAppend reports whether call appears as `x = append(x, ...)` — the
+// amortized O(1) stack-push idiom, permitted on hot paths because it only
+// allocates on capacity growth and the slice retains the new capacity.
+func isSelfAppend(call *ast.CallExpr, parents map[ast.Node]ast.Node) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	assign, ok := parents[call].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for i, rhs := range assign.Rhs {
+		if rhs == ast.Expr(call) && i < len(assign.Lhs) {
+			return types.ExprString(assign.Lhs[i]) == types.ExprString(call.Args[0])
+		}
+	}
+	return false
+}

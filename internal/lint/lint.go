@@ -1,0 +1,189 @@
+// Package lint implements ringlint, the repo-specific static-analysis
+// suite behind `make lint` (driver: cmd/ringlint). The succinct substrate
+// carries invariants the Go compiler cannot check — derived select/rank
+// directories must never be serialized and must be rebuilt on load, hot
+// leap/rank/select paths must stay allocation- and dispatch-free, Fork()
+// implementations must not share mutable state across goroutines, and
+// untrusted uint64 header values must be range-checked before narrowing.
+// Each analyzer encodes one of these contracts; together with the
+// `ringdebug` runtime assertion layer they catch the bug class that
+// surfaces as wrong query answers rather than crashes.
+//
+// The annotation vocabulary, written as `//ringlint:` directive comments:
+//
+//   - //ringlint:hotpath [allow-dispatch]
+//     On a function's doc comment (or in the file header, marking every
+//     function of the file): the function is a hot path and may not
+//     contain interface method calls, closures, defer statements, map
+//     operations, or non-self appends. allow-dispatch waives only the
+//     interface-call rule, for code that is interface-generic by design
+//     (the LTJ engine, the cArray accessors).
+//
+//   - //ringlint:derived
+//     On a struct field: the field is acceleration state derived from
+//     serialized fields. No Write*/write* serialization function may
+//     touch it, and every Read* deserializer returning the struct must
+//     (transitively) rebuild it.
+//
+//   - //ringlint:shared-immutable
+//     On a struct field: Fork() may share this reference-typed field
+//     between forks because the pointee is immutable after construction.
+//
+//   - //ringlint:allow <analyzer> [-- reason]
+//     On or immediately above a line: suppress that analyzer's findings
+//     for the line, documenting a reviewed exception.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one repo-specific check run over a type-checked package.
+type Analyzer interface {
+	Name() string
+	Run(pkg *Package) []Diagnostic
+}
+
+// Analyzers returns the full ringlint suite.
+func Analyzers() []Analyzer {
+	return []Analyzer{hotpath{}, derivedstate{}, forksafe{}, truncation{}}
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// diagnostics sorted by position, with //ringlint:allow suppressions
+// already applied.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := allowLines(pkg)
+		for _, a := range analyzers {
+			for _, d := range a.Run(pkg) {
+				if allowed[allowKey{d.Pos.Filename, d.Pos.Line, a.Name()}] {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+const directivePrefix = "//ringlint:"
+
+// directive extracts the ringlint directive from one comment, returning
+// the verb ("hotpath", "allow", ...) and the rest of the line.
+func directive(c *ast.Comment) (verb, args string, ok bool) {
+	rest, found := strings.CutPrefix(c.Text, directivePrefix)
+	if !found {
+		return "", "", false
+	}
+	verb, args, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(verb), strings.TrimSpace(args), true
+}
+
+// groupDirective scans a comment group for a directive with the given verb
+// and returns its arguments.
+func groupDirective(g *ast.CommentGroup, verb string) (args string, ok bool) {
+	if g == nil {
+		return "", false
+	}
+	for _, c := range g.List {
+		if v, a, isDir := directive(c); isDir && v == verb {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowLines collects //ringlint:allow suppressions. An allow comment
+// covers its own line (trailing-comment form) and the following line
+// (comment-above form).
+func allowLines(pkg *Package) map[allowKey]bool {
+	out := make(map[allowKey]bool)
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				verb, args, ok := directive(c)
+				if !ok || verb != "allow" {
+					continue
+				}
+				name, _, _ := strings.Cut(args, "--")
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out[allowKey{pos.Filename, pos.Line, name}] = true
+				out[allowKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return out
+}
+
+// fileHasDirective reports whether the file header (comments before the
+// package clause) carries the given directive, and returns its args.
+func fileHasDirective(pkg *Package, f *ast.File, verb string) (string, bool) {
+	for _, g := range f.Comments {
+		if g.Pos() >= f.Package {
+			break
+		}
+		if args, ok := groupDirective(g, verb); ok {
+			return args, true
+		}
+	}
+	return "", false
+}
+
+// fieldDirective reports whether a struct field carries the directive in
+// its doc or trailing comment.
+func fieldDirective(field *ast.Field, verb string) bool {
+	if _, ok := groupDirective(field.Doc, verb); ok {
+		return true
+	}
+	_, ok := groupDirective(field.Comment, verb)
+	return ok
+}
+
+// diag builds a Diagnostic at the given node.
+func diag(pkg *Package, name string, node ast.Node, format string, args ...interface{}) Diagnostic {
+	return Diagnostic{
+		Pos:      pkg.Fset.Position(node.Pos()),
+		Analyzer: name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}

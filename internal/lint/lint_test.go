@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureWant is one `// want "regex"` expectation scraped from a fixture.
+type fixtureWant struct {
+	file    string
+	pattern string
+	re      *regexp.Regexp
+}
+
+// scanWants collects the `// want "regex"` trailing comments of a fixture
+// package, keyed by line number. Fixtures are one file per package, so a
+// plain line key is unambiguous.
+func scanWants(t *testing.T, pkg *Package) map[int]*fixtureWant {
+	t.Helper()
+	out := make(map[int]*fixtureWant)
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				rest, ok := strings.CutPrefix(c.Text, `// want "`)
+				if !ok {
+					continue
+				}
+				pattern, ok := strings.CutSuffix(strings.TrimSpace(rest), `"`)
+				if !ok {
+					t.Fatalf("malformed want comment: %s", c.Text)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", pattern, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if out[pos.Line] != nil {
+					t.Fatalf("%s:%d: multiple want comments on one line", pos.Filename, pos.Line)
+				}
+				out[pos.Line] = &fixtureWant{file: pos.Filename, pattern: pattern, re: re}
+			}
+		}
+	}
+	return out
+}
+
+func analyzerByName(t *testing.T, name string) Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name() == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// TestFixtures runs each analyzer over its testdata package and checks the
+// diagnostics against the `// want` marks both ways: every mark must be
+// matched by a diagnostic on its line, and every diagnostic must land on a
+// marked line with a matching message.
+func TestFixtures(t *testing.T) {
+	for _, name := range []string{"hotpath", "derivedstate", "forksafe", "truncation"} {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", name)
+			pkgs, err := Load(dir, []string{dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
+			}
+			wants := scanWants(t, pkgs[0])
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no want comments", dir)
+			}
+			diags := Run(pkgs, []Analyzer{analyzerByName(t, name)})
+			matched := make(map[int]bool)
+			for _, d := range diags {
+				w := wants[d.Pos.Line]
+				if w == nil {
+					t.Errorf("unexpected diagnostic: %s", d)
+					continue
+				}
+				if !w.re.MatchString(d.Message) {
+					t.Errorf("diagnostic %q at %s:%d does not match want %q",
+						d.Message, d.Pos.Filename, d.Pos.Line, w.pattern)
+				}
+				matched[d.Pos.Line] = true
+			}
+			for line, w := range wants {
+				if !matched[line] {
+					t.Errorf("%s:%d: want %q matched no diagnostic", w.file, line, w.pattern)
+				}
+			}
+		})
+	}
+}
+
+// TestRepoClean runs the full analyzer suite over the real module — the
+// same gate `make lint` enforces — and requires zero diagnostics.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root := filepath.Join("..", "..")
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages from the module root")
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}

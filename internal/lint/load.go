@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/bitvector"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader type-checks module packages from source with no external
+// dependencies: intra-module imports are resolved recursively from the
+// module tree, everything else (the standard library) through the
+// go/importer source importer. It implements types.ImporterFrom so it can
+// be handed to types.Config directly.
+type loader struct {
+	fset       *token.FileSet
+	moduleDir  string
+	modulePath string
+	std        types.Importer
+	pkgs       map[string]*Package // by import path; nil entry = in progress
+	tags       map[string]bool     // build tags considered enabled
+}
+
+// Load type-checks packages of the module that contains dir and returns
+// them in deterministic (import path) order.
+//
+// Each pattern is either the recursive pattern "./..." — every package
+// under the module root, skipping testdata, vendor and hidden directories —
+// or a directory path, which is loaded as a single package even when it
+// lives below a testdata directory (that is how the analyzer fixtures are
+// loaded). Test files are not analyzed. Files whose build constraints do
+// not match the default build (in particular the ringdebug assertion
+// layer) are skipped, exactly as `go build` would skip them.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:       fset,
+		moduleDir:  root,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		tags:       defaultTags(),
+	}
+
+	var dirs []string
+	seen := make(map[string]bool)
+	addDir := func(d string) {
+		if abs, err := filepath.Abs(d); err == nil && !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			ds, err := modulePackageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range ds {
+				addDir(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			ds, err := modulePackageDirs(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range ds {
+				addDir(d)
+			}
+		default:
+			addDir(pat)
+		}
+	}
+
+	var out []*Package
+	for _, d := range dirs {
+		path, err := ld.importPathFor(d)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := ld.load(path, d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func defaultTags() map[string]bool {
+	t := map[string]bool{
+		runtime.GOOS:   true,
+		runtime.GOARCH: true,
+		"gc":           true,
+	}
+	switch runtime.GOOS {
+	case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "dragonfly":
+		t["unix"] = true
+	}
+	return t
+}
+
+// modulePackageDirs returns every directory under root that contains
+// non-test Go files, skipping testdata, vendor and hidden directories.
+func modulePackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, p)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (ld *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(ld.moduleDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, ld.moduleDir)
+	}
+	if rel == "." {
+		return ld.modulePath, nil
+	}
+	return ld.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirForImport is the inverse of importPathFor.
+func (ld *loader) dirForImport(path string) string {
+	if path == ld.modulePath {
+		return ld.moduleDir
+	}
+	rel := strings.TrimPrefix(path, ld.modulePath+"/")
+	return filepath.Join(ld.moduleDir, filepath.FromSlash(rel))
+}
+
+// Import implements types.Importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, ld.moduleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are
+// loaded from source by this loader, everything else is delegated to the
+// standard library source importer.
+func (ld *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == ld.modulePath || strings.HasPrefix(path, ld.modulePath+"/") {
+		pkg, err := ld.load(path, ld.dirForImport(path))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks the package in dir (memoized). It returns
+// nil when the directory holds no buildable non-test Go files.
+func (ld *loader) load(path, dir string) (*Package, error) {
+	if pkg, done := ld.pkgs[path]; done {
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	ld.pkgs[path] = nil // mark in progress for cycle detection
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		fpath := filepath.Join(dir, name)
+		src, err := os.ReadFile(fpath)
+		if err != nil {
+			return nil, err
+		}
+		if !ld.fileMatchesBuild(src) {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, fpath, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		delete(ld.pkgs, path)
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: ld.fset, Files: files, Types: tpkg, Info: info}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// fileMatchesBuild reports whether the file's //go:build constraint (if
+// any) is satisfied with the loader's tag set — no tags beyond the
+// platform defaults, so ringdebug-only files are skipped like `go build`
+// would skip them.
+func (ld *loader) fileMatchesBuild(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return true // malformed constraint: let the parser complain
+		}
+		return expr.Eval(func(tag string) bool { return ld.tags[tag] })
+	}
+	return true
+}

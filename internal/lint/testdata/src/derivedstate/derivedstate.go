@@ -1,0 +1,37 @@
+// Package derivedstate is a ringlint test fixture: positive and negative
+// cases for the derivedstate analyzer.
+package derivedstate
+
+import "io"
+
+// Index models a structure with a derived select directory.
+type Index struct {
+	data []uint64
+	//ringlint:derived
+	samples []uint32
+}
+
+// rebuild derives samples from data.
+func (x *Index) rebuild() {
+	x.samples = make([]uint32, len(x.data))
+}
+
+// WriteTo serializes data only; touching samples is a finding.
+func (x *Index) WriteTo(w io.Writer) error {
+	_ = x.data
+	_ = x.samples // want "references derived field"
+	return nil
+}
+
+// ReadIndex rebuilds samples through a helper: negative case (the rebuild
+// check is transitive over intra-package calls).
+func ReadIndex(r io.Reader) (*Index, error) {
+	x := &Index{data: make([]uint64, 4)}
+	x.rebuild()
+	return x, nil
+}
+
+// ReadIndexBroken forgets the rebuild: positive case.
+func ReadIndexBroken(r io.Reader) (*Index, error) { // want "without rebuilding derived field samples"
+	return &Index{data: make([]uint64, 4)}, nil
+}

@@ -1,0 +1,50 @@
+// Package forksafe is a ringlint test fixture: positive and negative
+// cases for the forksafe analyzer.
+package forksafe
+
+type index struct{ data []uint64 }
+
+// good deep-copies its cursor slice and shares the tagged index.
+type good struct {
+	idx  *index //ringlint:shared-immutable -- immutable after construction
+	vals []int
+}
+
+func (g *good) Fork() *good {
+	return &good{
+		idx:  g.idx,
+		vals: append([]int(nil), g.vals...),
+	}
+}
+
+// bad shares its untagged slice field through the composite literal.
+type bad struct {
+	vals []int
+}
+
+func (b *bad) Fork() *bad {
+	return &bad{
+		vals: b.vals, // want "shares reference field vals"
+	}
+}
+
+// badCopy copies the struct and never rebuilds the slice.
+type badCopy struct {
+	vals []int
+}
+
+func (b *badCopy) Fork() *badCopy {
+	cp := *b // want "never rebuilds reference field vals"
+	return &cp
+}
+
+// goodCopy copies the struct, then rebuilds the slice: negative case.
+type goodCopy struct {
+	vals []int
+}
+
+func (g *goodCopy) Fork() *goodCopy {
+	cp := *g
+	cp.vals = append([]int(nil), g.vals...)
+	return &cp
+}

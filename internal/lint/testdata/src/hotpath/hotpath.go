@@ -1,0 +1,67 @@
+// Package hotpath is a ringlint test fixture: positive and negative cases
+// for the hotpath analyzer. It is loaded only by the analyzer tests (and
+// by hand via `go run ./cmd/ringlint <this dir>`); the go tool ignores
+// testdata directories.
+package hotpath
+
+import "sort"
+
+type iface interface{ Do() int }
+
+type state struct {
+	frames []int
+	m      map[string]int
+}
+
+func cleanup() {}
+
+//ringlint:hotpath
+func closure(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "closure allocated"
+}
+
+//ringlint:hotpath
+func deferred() {
+	defer cleanup() // want "defer on a hot path"
+}
+
+//ringlint:hotpath
+func dispatch(v iface) int {
+	return v.Do() // want "interface method call"
+}
+
+//ringlint:hotpath allow-dispatch
+func dispatchAllowed(v iface) int {
+	return v.Do() // negative: allow-dispatch waives the interface-call rule
+}
+
+//ringlint:hotpath
+func dispatchAllowedLine(v iface) int {
+	return v.Do() //ringlint:allow hotpath -- negative: reviewed single dispatch
+}
+
+//ringlint:hotpath
+func mapRead(s *state, k string) int {
+	return s.m[k] // want "map access"
+}
+
+//ringlint:hotpath
+func mapDelete(s *state, k string) {
+	delete(s.m, k) // want "map delete"
+}
+
+//ringlint:hotpath
+func freshAppend(xs []int, v int) []int {
+	ys := append(xs, v) // want "not a self-append"
+	return ys
+}
+
+//ringlint:hotpath
+func selfAppend(s *state, v int) {
+	s.frames = append(s.frames, v) // negative: the amortized push idiom
+}
+
+// unannotated functions are not checked.
+func unannotated() map[string]int {
+	return map[string]int{"k": 1}
+}

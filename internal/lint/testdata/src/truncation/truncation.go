@@ -1,0 +1,34 @@
+// Package truncation is a ringlint test fixture: positive and negative
+// cases for the truncation analyzer.
+package truncation
+
+import "io"
+
+type header struct {
+	n int
+}
+
+// readGuarded validates the narrowed value before use: negative case.
+func readGuarded(r io.Reader, raw []uint64) (*header, error) {
+	h := &header{n: int(raw[0])}
+	if h.n < 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return h, nil
+}
+
+// readMasked masks the operand to the target width: negative case.
+func readMasked(raw []uint64) uint32 {
+	return uint32(raw[1] & 0xffff)
+}
+
+// notARead narrows without guards outside a deserializer: negative case
+// (the analyzer is scoped to Read*/read* functions).
+func notARead(raw []uint64) int {
+	return int(raw[0])
+}
+
+// readBroken narrows an untrusted header word with no validation.
+func readBroken(raw []uint64) int {
+	return int(raw[0]) // want "unguarded uint64→int conversion"
+}

@@ -1,0 +1,17 @@
+package ltj
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// debugCheckLeapOrder asserts the trie-iterator ordering contract the
+// engine's seek loop relies on (Algorithm 1): Leap(pos, c) never returns
+// a value below c. Called behind `if ringdebugEnabled { ... }` so normal
+// builds eliminate it entirely.
+func debugCheckLeapOrder(c, v graph.ID) {
+	if v < c {
+		panic(fmt.Sprintf("ringdebug: ltj: iterator leap returned %d < cursor %d (ordering contract violated)", v, c))
+	}
+}

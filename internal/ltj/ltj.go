@@ -348,6 +348,8 @@ func (e *evaluator) search(j int) error {
 // seek implements seek(μ, j, c) of Algorithm 1: the leapfrog intersection.
 // It repeatedly leaps every iterator to the current candidate until all
 // agree, or some iterator is exhausted.
+//
+//ringlint:hotpath
 func (e *evaluator) seek(ivs []iterVar, c graph.ID) (graph.ID, bool, error) {
 	e.stats.Seeks++
 	for {
@@ -375,15 +377,24 @@ func (e *evaluator) seek(ivs []iterVar, c graph.ID) (graph.ID, bool, error) {
 // several positions of the same pattern is handled by leap-then-verify:
 // candidates from the first occurrence are checked by binding every
 // occurrence, per the engineering note in DESIGN.md.
+//
+//ringlint:hotpath allow-dispatch -- the engine is index-generic; every iterator operation dispatches on PatternIter
 func (e *evaluator) leapVar(iv iterVar, c graph.ID) (graph.ID, bool) {
 	e.stats.Leaps++
 	if len(iv.positions) == 1 {
-		return iv.it.Leap(iv.positions[0], c)
+		v, ok := iv.it.Leap(iv.positions[0], c)
+		if ringdebugEnabled && ok {
+			debugCheckLeapOrder(c, v)
+		}
+		return v, ok
 	}
 	for {
 		v, ok := iv.it.Leap(iv.positions[0], c)
 		if !ok {
 			return 0, false
+		}
+		if ringdebugEnabled {
+			debugCheckLeapOrder(c, v)
 		}
 		for _, pos := range iv.positions {
 			iv.it.Bind(pos, v)

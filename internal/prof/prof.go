@@ -12,8 +12,9 @@ import (
 
 // Start begins CPU profiling when cpuPath is non-empty and returns a stop
 // function that finalizes the CPU profile and, when memPath is non-empty,
-// writes a heap profile. Call stop once, before the process exits; it is
-// the caller's job to report its error. Empty paths disable the
+// writes a heap profile. Call stop once, before the process exits; a
+// second call returns an error without touching the profiles again. It is
+// the caller's job to report stop's error. Empty paths disable the
 // respective profile, so callers can pass the flag values through
 // unconditionally.
 func Start(cpuPath, memPath string) (stop func() error, err error) {
@@ -29,7 +30,12 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 		}
 		cpuFile = f
 	}
+	stopped := false
 	return func() error {
+		if stopped {
+			return fmt.Errorf("prof: stop called twice")
+		}
+		stopped = true
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {

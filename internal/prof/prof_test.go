@@ -49,3 +49,29 @@ func TestStartBadPath(t *testing.T) {
 		t.Error("Start accepted an uncreatable CPU profile path")
 	}
 }
+
+func TestStopBadMemPath(t *testing.T) {
+	// The heap profile is written at stop time, so an unwritable memPath
+	// must surface there rather than silently dropping the profile.
+	stop, err := Start("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Error("stop ignored an unwritable heap profile path")
+	}
+}
+
+func TestStopTwice(t *testing.T) {
+	cpu := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := Start(cpu, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Error("second stop call did not report an error")
+	}
+}

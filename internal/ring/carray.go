@@ -118,7 +118,13 @@ func readCArray(r io.Reader) (cArray, error) {
 		if err != nil {
 			return nil, err
 		}
-		return sparseC{d: d, entries: int(meta[0])}, nil
+		// The entry count narrows to int; it must agree with the ones
+		// actually present in D, or Get would select past the end.
+		entries := int(meta[0])
+		if entries < 0 || entries != d.Ones() {
+			return nil, fmt.Errorf("ring: sparse C entry count %d disagrees with bitvector (%d ones)", meta[0], d.Ones())
+		}
+		return sparseC{d: d, entries: entries}, nil
 	default:
 		return nil, errors.New("ring: unknown C-array representation tag")
 	}

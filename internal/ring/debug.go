@@ -1,0 +1,30 @@
+package ring
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Runtime assertion hooks for the ringdebug build tag, called behind
+// `if ringdebugEnabled { ... }` so normal builds eliminate them entirely.
+
+// debugCheckLeap asserts the contract of Lemma 3.7 on a successful leap:
+// the returned candidate is ≥ the cursor and inside the alphabet of the
+// leapt position.
+func (ps *PatternState) debugCheckLeap(pos graph.Position, c, v graph.ID) {
+	if v < c {
+		panic(fmt.Sprintf("ringdebug: ring: Leap(%v, %d) returned %d < cursor (ordering contract violated)", pos, c, v))
+	}
+	if a := ps.r.alphabetOf(ZoneOf(pos)); v >= a {
+		panic(fmt.Sprintf("ringdebug: ring: Leap(%v, %d) returned %d outside alphabet [0,%d)", pos, c, v, a))
+	}
+}
+
+// debugCheckRange asserts the BWT range stays well-formed after a Bind:
+// 0 <= lo <= hi <= n.
+func (ps *PatternState) debugCheckRange() {
+	if ps.lo < 0 || ps.hi < ps.lo || ps.hi > ps.r.n {
+		panic(fmt.Sprintf("ringdebug: ring: range [%d,%d) outside [0,%d] after Bind", ps.lo, ps.hi, ps.r.n))
+	}
+}

@@ -23,7 +23,7 @@ import (
 // For arity 3 any set of ≤3 positions is cyclically contiguous, which is
 // exactly why a single ring suffices for graphs.
 type PatternState struct {
-	r *Ring
+	r *Ring //ringlint:shared-immutable -- the ring is immutable after New/Read; forks share it read-only
 
 	zone     Zone
 	lo, hi   int      // current range within zone, half-open
@@ -107,6 +107,7 @@ const (
 	dirForward
 )
 
+//ringlint:hotpath
 func (ps *PatternState) classify(pos graph.Position) direction {
 	if ps.bound == 0 {
 		return dirInitial
@@ -127,7 +128,21 @@ func (ps *PatternState) classify(pos graph.Position) direction {
 // an unbound position; with arity 3 it is always adjacent to the bound run,
 // so leap is supported with no restriction on the order constants were
 // bound in — the property that lets one ring replace all six orders.
+//
+//ringlint:hotpath
 func (ps *PatternState) Leap(pos graph.Position, c graph.ID) (graph.ID, bool) {
+	v, ok := ps.leap(pos, c)
+	if ringdebugEnabled && ok {
+		ps.debugCheckLeap(pos, c, v)
+	}
+	return v, ok
+}
+
+// leap dispatches the three cases of Lemma 3.7 by the direction of pos
+// relative to the bound run.
+//
+//ringlint:hotpath
+func (ps *PatternState) leap(pos graph.Position, c graph.ID) (graph.ID, bool) {
 	if ps.Empty() && ps.bound > 0 {
 		return 0, false
 	}
@@ -151,6 +166,8 @@ func (ps *PatternState) Leap(pos graph.Position, c graph.ID) (graph.ID, bool) {
 // symbols preceding pos (i.e. symbols of the run's type), we locate the
 // first occurrence of d at or after C[c] with one rank and one select, and
 // map it back to its block with a binary search on C.
+//
+//ringlint:hotpath allow-dispatch -- C-array accesses dispatch on the packed/sparse representation
 func (ps *PatternState) leapForward(pos graph.Position, c graph.ID) (graph.ID, bool) {
 	nz := ZoneOf(pos)
 	if c >= ps.r.alphabetOf(nz) {
@@ -173,6 +190,8 @@ func (ps *PatternState) leapForward(pos graph.Position, c graph.ID) (graph.ID, b
 // Bind fixes position pos to constant c, updating the range. The previous
 // state is pushed and can be restored with Unbind. Binding a value for
 // which Leap did not vouch is allowed and simply yields an empty range.
+//
+//ringlint:hotpath allow-dispatch -- C-array accesses dispatch on the packed/sparse representation
 func (ps *PatternState) Bind(pos graph.Position, c graph.ID) {
 	ps.frames = append(ps.frames, frame{ps.zone, ps.lo, ps.hi, ps.bound, ps.firstVal})
 	switch ps.classify(pos) {
@@ -211,6 +230,9 @@ func (ps *PatternState) Bind(pos graph.Position, c graph.ID) {
 		}
 		ps.bound++
 	}
+	if ringdebugEnabled {
+		ps.debugCheckRange()
+	}
 }
 
 // Fork returns an independent copy of the iterator for parallel
@@ -226,6 +248,8 @@ func (ps *PatternState) Fork() trieiter.Iter {
 }
 
 // Unbind undoes the most recent Bind.
+//
+//ringlint:hotpath
 func (ps *PatternState) Unbind() {
 	if len(ps.frames) == 0 {
 		panic("ring: Unbind with no bindings")

@@ -217,6 +217,8 @@ func (r *Ring) Column(z Zone) *wavelet.Matrix { return r.cols[z] }
 
 // alphabetOf returns the size of the ID space of the symbols that start
 // zone z's rotations.
+//
+//ringlint:hotpath
 func (r *Ring) alphabetOf(z Zone) graph.ID {
 	if z == ZonePOS {
 		return r.numP
@@ -227,6 +229,8 @@ func (r *Ring) alphabetOf(z Zone) graph.ID {
 // CRange returns [lo, hi): the positions in zone z whose rotations start
 // with constant c. This is the b=1 case of Lemma 3.6 and also the on-the-fly
 // cardinality statistic of Section 4.3 (hi-lo is the number of matches).
+//
+//ringlint:hotpath allow-dispatch -- C-array accesses dispatch on the packed/sparse representation
 func (r *Ring) CRange(z Zone, c graph.ID) (lo, hi int) {
 	if c >= r.alphabetOf(z) {
 		return 0, 0
@@ -236,6 +240,8 @@ func (r *Ring) CRange(z Zone, c graph.ID) (lo, hi int) {
 
 // nextOccupied returns the smallest c' >= c whose CRange in zone z is
 // non-empty, in O(log U) time by binary search on the C array.
+//
+//ringlint:hotpath allow-dispatch -- C-array accesses dispatch on the packed/sparse representation
 func (r *Ring) nextOccupied(z Zone, c graph.ID) (graph.ID, bool) {
 	if c >= r.alphabetOf(z) {
 		return 0, false
@@ -337,6 +343,9 @@ func Read(rd io.Reader) (*Ring, error) {
 	}
 	if hdr[0] != magic {
 		return nil, errors.New("ring: bad magic")
+	}
+	if hdr[2] > uint64(graph.MaxID) || hdr[3] > uint64(graph.MaxID) {
+		return nil, errors.New("ring: alphabet size overflows the ID space")
 	}
 	r := &Ring{n: int(hdr[1]), numSO: graph.ID(hdr[2]), numP: graph.ID(hdr[3])}
 	if r.n < 0 {

@@ -1,0 +1,53 @@
+package wavelet
+
+import "fmt"
+
+// Runtime assertion hooks for the ringdebug build tag, called behind
+// `if ringdebugEnabled { ... }` so normal builds eliminate them entirely.
+
+// debugCheckLevels cross-checks the zeros counters against the level
+// bitvectors: zeros[l] must equal the number of 0-bits at level l. Called
+// after deserialization, where a corrupt or stale counter would silently
+// derail every descent.
+func (m *Matrix) debugCheckLevels() {
+	for l := uint(0); l < m.width; l++ {
+		if z := m.levels[l].Rank0(m.n); z != m.zeros[l] {
+			panic(fmt.Sprintf("ringdebug: wavelet: level %d zeros counter %d disagrees with bitvector (%d zero bits)",
+				l, m.zeros[l], z))
+		}
+	}
+}
+
+// debugCheckAccess asserts Access results stay inside the alphabet.
+func (m *Matrix) debugCheckAccess(v uint64) {
+	if v >= m.sigma {
+		panic(fmt.Sprintf("ringdebug: wavelet: Access returned %d outside alphabet [0,%d)", v, m.sigma))
+	}
+}
+
+// debugCheckSelect asserts the select inverse: position pos holds symbol c
+// and has exactly k-1 occurrences of c before it.
+func (m *Matrix) debugCheckSelect(c uint64, k, pos int) {
+	if pos < 0 || pos >= m.n {
+		panic(fmt.Sprintf("ringdebug: wavelet: Select(%d, %d) = %d outside [0,%d)", c, k, pos, m.n))
+	}
+	if got := m.Access(pos); got != c {
+		panic(fmt.Sprintf("ringdebug: wavelet: Select(%d, %d) = %d but Access there reads %d", c, k, pos, got))
+	}
+	if got := m.Rank(c, pos); got != k-1 {
+		panic(fmt.Sprintf("ringdebug: wavelet: Select(%d, %d) = %d violates the rank inverse (rank=%d)", c, k, pos, got))
+	}
+}
+
+// debugCheckRangeNext asserts the range-successor contract: the returned
+// symbol is ≥ c, inside the alphabet, and actually occurs in [lo, hi).
+func (m *Matrix) debugCheckRangeNext(lo, hi int, c, v uint64) {
+	if v < c || v >= m.sigma {
+		panic(fmt.Sprintf("ringdebug: wavelet: RangeNextValue(%d, %d, %d) returned %d outside [%d,%d)",
+			lo, hi, c, v, c, m.sigma))
+	}
+	if m.Count(v, lo, hi) == 0 {
+		panic(fmt.Sprintf("ringdebug: wavelet: RangeNextValue(%d, %d, %d) returned %d, which does not occur in the range",
+			lo, hi, c, v))
+	}
+}

@@ -36,29 +36,38 @@ type Options struct {
 // Matrix is an immutable wavelet matrix.
 type Matrix struct {
 	levels []bitvector.Vector
-	plains []*bitvector.Plain // non-nil when every level is Plain (devirtualized fast path)
-	zeros  []int              // zeros[l]: number of 0-bits at level l
-	n      int
-	sigma  uint64
-	width  uint // number of levels = bits to code sigma-1
+
+	// Devirtualized view of levels, non-nil when every level is Plain.
+	// Derived by setLevels: rebuilt on load, never serialized.
+	//ringlint:derived
+	plains []*bitvector.Plain
+
+	zeros []int // zeros[l]: number of 0-bits at level l
+	n     int
+	sigma uint64
+	width uint // number of levels = bits to code sigma-1
 }
 
 // rank1 performs a level rank through the concrete type when possible,
 // letting the hot Plain.Rank1 inline.
+//
+//ringlint:hotpath
 func (m *Matrix) rank1(l uint, i int) int {
 	if m.plains != nil {
 		return m.plains[l].Rank1(i)
 	}
-	return m.levels[l].Rank1(i)
+	return m.levels[l].Rank1(i) //ringlint:allow hotpath -- compressed-level fallback; the Plain fast path above stays devirtualized
 }
 
 // get reads level bit i through the concrete type when possible, same
 // devirtualization pattern as rank1.
+//
+//ringlint:hotpath
 func (m *Matrix) get(l uint, i int) bool {
 	if m.plains != nil {
 		return m.plains[l].Get(i)
 	}
-	return m.levels[l].Get(i)
+	return m.levels[l].Get(i) //ringlint:allow hotpath -- compressed-level fallback; the Plain fast path above stays devirtualized
 }
 
 // setLevels installs the level bitvectors and the devirtualized view.
@@ -156,6 +165,8 @@ func (m *Matrix) Len() int { return m.n }
 func (m *Matrix) Sigma() uint64 { return m.sigma }
 
 // Access returns S[i].
+//
+//ringlint:hotpath
 func (m *Matrix) Access(i int) uint64 {
 	if i < 0 || i >= m.n {
 		panic(fmt.Sprintf("wavelet: Access(%d) out of range [0,%d)", i, m.n))
@@ -170,10 +181,15 @@ func (m *Matrix) Access(i int) uint64 {
 			i -= m.rank1(l, i) // rank0
 		}
 	}
+	if ringdebugEnabled {
+		m.debugCheckAccess(v)
+	}
 	return v
 }
 
 // Rank returns the number of occurrences of c in the prefix S[0, i).
+//
+//ringlint:hotpath
 func (m *Matrix) Rank(c uint64, i int) int {
 	if c >= m.sigma || i <= 0 {
 		return 0
@@ -198,6 +214,8 @@ func (m *Matrix) Rank(c uint64, i int) int {
 // block-start pointer is computed once instead of twice, saving a third
 // of the bitvector ranks. It is the workhorse of the ring's Bind step
 // (one LF-step needs the rank at both range endpoints).
+//
+//ringlint:hotpath
 func (m *Matrix) Rank2(c uint64, i, j int) (int, int) {
 	if c >= m.sigma {
 		return 0, 0
@@ -226,6 +244,8 @@ func (m *Matrix) Rank2(c uint64, i, j int) (int, int) {
 
 // Select returns the position of the k-th occurrence of c (1-based), or -1
 // if c occurs fewer than k times.
+//
+//ringlint:hotpath
 func (m *Matrix) Select(c uint64, k int) int {
 	if c >= m.sigma || k < 1 {
 		return -1
@@ -260,18 +280,24 @@ func (m *Matrix) Select(c uint64, k int) int {
 				pos = B.Select0(pos + 1)
 			}
 		}
+		if ringdebugEnabled {
+			m.debugCheckSelect(c, k, pos)
+		}
 		return pos
 	}
 	for l := int(m.width) - 1; l >= 0; l-- {
 		B := m.levels[l]
 		if (c>>(m.width-1-uint(l)))&1 == 1 {
-			pos = B.Select1(pos - m.zeros[l] + 1)
+			pos = B.Select1(pos - m.zeros[l] + 1) //ringlint:allow hotpath -- compressed-level fallback ascent
 		} else {
-			pos = B.Select0(pos + 1)
+			pos = B.Select0(pos + 1) //ringlint:allow hotpath -- compressed-level fallback ascent
 		}
 		if pos < 0 {
 			return -1
 		}
+	}
+	if ringdebugEnabled {
+		m.debugCheckSelect(c, k, pos)
 	}
 	return pos
 }
@@ -287,6 +313,8 @@ func (m *Matrix) Count(c uint64, lo, hi int) int {
 // RangeNextValue returns the smallest symbol ≥ c occurring in S[lo, hi),
 // and whether such a symbol exists. This is the range-successor operation
 // used by the ring's backward leap (Section 3.2.2). It runs in O(log σ).
+//
+//ringlint:hotpath
 func (m *Matrix) RangeNextValue(lo, hi int, c uint64) (uint64, bool) {
 	if lo < 0 {
 		lo = 0
@@ -297,7 +325,11 @@ func (m *Matrix) RangeNextValue(lo, hi int, c uint64) (uint64, bool) {
 	if lo >= hi || c >= m.sigma {
 		return 0, false
 	}
-	return m.rangeNext(lo, hi, c)
+	v, ok := m.rangeNext(lo, hi, c)
+	if ringdebugEnabled && ok {
+		m.debugCheckRangeNext(lo, hi, c, v)
+	}
+	return v, ok
 }
 
 // rangeNext finds the smallest value ≥ c among positions [lo, hi).
@@ -309,6 +341,8 @@ func (m *Matrix) RangeNextValue(lo, hi int, c uint64) (uint64, bool) {
 // holds smaller values than a shallower one. So one fallback — the
 // deepest non-empty 1-sibling seen — suffices: if the tight path dies,
 // resume there with an unconstrained minimum descent (a plain loop).
+//
+//ringlint:hotpath
 func (m *Matrix) rangeNext(lo, hi int, c uint64) (uint64, bool) {
 	var fbL uint
 	var fbLo, fbHi int
@@ -375,6 +409,8 @@ func (m *Matrix) DistinctInRange(lo, hi int, visit func(c uint64, count int) boo
 // in sorted order. The stack holds at most one pending sibling per level
 // (width ≤ 64), so it lives on the goroutine stack — no allocation, no
 // recursive call overhead.
+//
+//ringlint:hotpath
 func (m *Matrix) distinct(lo, hi int, visit func(uint64, int) bool) {
 	type node struct {
 		l      uint
@@ -474,6 +510,9 @@ func Read(r io.Reader) (*Matrix, error) {
 		if err != nil {
 			return nil, err
 		}
+		if meta[0] > uint64(m.n) {
+			return nil, fmt.Errorf("wavelet: corrupt zeros count %d for %d positions", meta[0], m.n)
+		}
 		m.zeros[l] = int(meta[0])
 		switch meta[1] {
 		case tagPlain:
@@ -496,6 +535,9 @@ func Read(r io.Reader) (*Matrix, error) {
 		}
 	}
 	m.setLevels(levels)
+	if ringdebugEnabled {
+		m.debugCheckLevels()
+	}
 	return m, nil
 }
 

@@ -1,14 +1,15 @@
 #!/bin/sh
-# CI gate: formatting, vet, build, tests, the race-detector lane over
-# the parallel LTJ engine and the shared-ring fork tests, and a
+# CI gate: formatting, vet, the repo-specific ringlint analyzers, build,
+# shuffled tests, the ringdebug assertion lane, the full-module
+# race-detector lane (~4m on a single-CPU container), and a
 # compile-and-smoke pass over every benchmark (one iteration each).
 # Equivalent to `make check`; kept as a script for environments
 # without make.
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== gofmt"
-unformatted=$(gofmt -l .)
+echo "== gofmt -s"
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
     echo "gofmt needed on:"
     echo "$unformatted"
@@ -18,14 +19,20 @@ fi
 echo "== go vet"
 go vet ./...
 
+echo "== ringlint"
+go run ./cmd/ringlint ./...
+
 echo "== go build"
 go build ./...
 
-echo "== go test"
-go test ./...
+echo "== go test (shuffled)"
+go test -shuffle=on ./...
 
-echo "== go test -race (parallel engine lane)"
-go test -race -run 'Parallel|Stream' ./internal/ltj/... ./internal/ring/...
+echo "== go test -tags ringdebug (assertion lane)"
+go test -tags ringdebug ./internal/...
+
+echo "== go test -race (full module)"
+go test -race ./...
 
 echo "== bench smoke (compile and run every benchmark once)"
 go test -run '^$' -bench . -benchtime 1x ./...
