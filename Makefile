@@ -17,14 +17,19 @@
 #   make bench-substrate  the rank/select substrate microbenchmarks
 #                         (bits, bitvector, wavelet, ring Leap/Bind);
 #                         benchstat-friendly: set BENCH_COUNT>=10 to compare
-#   make check  fmt + vet + lint + build + test + test-debug + race + bench-smoke
+#   make bench-serve      the ringserve load-generator sweep (1/4/16
+#                         clients x cache on/off), writing BENCH_serve.json
+#   make serve-smoke      end-to-end ringserve smoke: build, index, serve,
+#                         query, overload shedding, SIGTERM drain
+#   make check  fmt + vet + lint + build + test + test-debug + race +
+#               bench-smoke + serve-smoke
 
 GO ?= go
 BENCH_COUNT ?= 1
 
-.PHONY: check fmt vet lint build test test-debug race bench bench-smoke bench-substrate
+.PHONY: check fmt vet lint build test test-debug race bench bench-smoke bench-substrate bench-serve serve-smoke
 
-check: fmt vet lint build test test-debug race bench-smoke
+check: fmt vet lint build test test-debug race bench-smoke serve-smoke
 
 fmt:
 	@unformatted=$$(gofmt -s -l .); \
@@ -59,3 +64,10 @@ bench-smoke:
 bench-substrate:
 	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) \
 		./internal/bits ./internal/bitvector ./internal/wavelet ./internal/ring
+
+bench-serve:
+	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json \
+		$(GO) test -run '^$$' -bench BenchmarkServe -benchtime 2s ./internal/server
+
+serve-smoke:
+	sh scripts/serve_smoke.sh

@@ -1,0 +1,153 @@
+// Command ringserve is the long-running query server: it loads a
+// serialized ring index (built by ringbuild) once and serves
+// basic-graph-pattern queries over HTTP, with admission control, a result
+// cache, Prometheus-text metrics and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	ringserve -index graph.ring [-addr :8080] [-parallel 0] ...
+//
+// Endpoints:
+//
+//	POST /query             {"pattern":[{"s":"?x","p":"winner","o":"?y"}], "limit":10}
+//	GET  /query?q=?x+winner+?y
+//	GET  /healthz           process liveness
+//	GET  /readyz            503 until the index is loaded and self-checked
+//	GET  /metrics           Prometheus text exposition
+//	GET  /stats             index statistics as JSON
+//	POST /cache/invalidate  drop every cached result
+//
+// The index loads asynchronously: the server binds and answers
+// /healthz immediately, and /readyz flips to 200 once the self-check
+// passes. On SIGTERM (or SIGINT) the server stops accepting queries,
+// drains in-flight evaluations, and exits 0 — or exits 1 if the drain
+// exceeds -drain-timeout and connections had to be torn down.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	wcoring "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ringserve: ")
+
+	index := flag.String("index", "", "index file built by ringbuild (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission capacity in engine goroutines (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "admission wait-queue bound (0 = 4x max-concurrent)")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "max time a request may wait for admission")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-query evaluation deadline")
+	maxTimeout := flag.Duration("max-timeout", time.Minute, "cap on client-requested deadlines")
+	limit := flag.Int("limit", 1000, "default solution limit per query")
+	maxLimit := flag.Int("max-limit", 100000, "cap on client-requested limits")
+	parallel := flag.Int("parallel", 0, "LTJ worker goroutines per query (0 = sequential, -1 = one per CPU)")
+	cacheEntries := flag.Int("cache-entries", 256, "result-cache entry bound (negative disables the cache)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache approximate byte bound")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "hard deadline for in-flight queries after SIGTERM")
+	flag.Parse()
+	if *index == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *parallel < 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+
+	srv, err := server.New(server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DefaultLimit:   *limit,
+		MaxLimit:       *maxLimit,
+		Parallelism:    *parallel,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load the index in the background so /healthz (and a 503 /readyz)
+	// answer immediately; loadErr resolves once the self-check passes.
+	loadErr := make(chan error, 1)
+	go func() { loadErr <- loadStore(srv, *index) }()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (index %s loading)", *addr, *index)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	for {
+		select {
+		case err := <-loadErr:
+			if err != nil {
+				log.Printf("index load failed: %v", err)
+				httpSrv.Close()
+				os.Exit(1)
+			}
+			log.Printf("index ready")
+		case err := <-serveErr:
+			if !errors.Is(err, http.ErrServerClosed) {
+				log.Fatal(err)
+			}
+			return
+		case s := <-sig:
+			log.Printf("received %v, draining (hard deadline %v)", s, *drainTimeout)
+			srv.BeginDrain()
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			err := httpSrv.Shutdown(ctx)
+			cancel()
+			if err != nil {
+				log.Printf("drain deadline exceeded, closing: %v", err)
+				httpSrv.Close()
+				os.Exit(1)
+			}
+			log.Printf("drain complete")
+			return
+		}
+	}
+}
+
+// loadStore reads the index file and installs it into the server (which
+// self-checks it before going ready).
+func loadStore(srv *server.Server, path string) error {
+	start := time.Now()
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	store, err := wcoring.ReadStore(bufio.NewReader(f))
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	if err := srv.SetStore(store); err != nil {
+		return err
+	}
+	log.Printf("loaded %s: %d triples in %v", path, store.Len(), time.Since(start).Round(time.Millisecond))
+	return nil
+}

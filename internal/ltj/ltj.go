@@ -60,6 +60,15 @@ type Options struct {
 	// Timeout aborts the evaluation after the given duration; 0 disables.
 	// The paper uses 10 minutes.
 	Timeout time.Duration
+	// Context, when non-nil, cancels the evaluation when it is done —
+	// in sequential and parallel mode alike. Cancellation surfaces as an
+	// error wrapping both ErrCancelled and the context's Err(), so callers
+	// can test errors.Is(err, context.Canceled) or
+	// errors.Is(err, context.DeadlineExceeded). Like Timeout, the context
+	// is polled every few hundred engine steps, so cancellation latency is
+	// bounded by a short burst of index operations, not by solution
+	// production.
+	Context context.Context
 	// Order forces an explicit variable elimination order (every variable
 	// of the query must appear exactly once). Nil selects the automatic
 	// order of Section 4.3.
@@ -84,6 +93,12 @@ type Options struct {
 // ErrTimeout is returned (wrapped in Result.Err) when the evaluation
 // exceeded Options.Timeout. The solutions found so far are still returned.
 var ErrTimeout = errors.New("ltj: evaluation timed out")
+
+// ErrCancelled is returned when Options.Context was cancelled before the
+// evaluation finished. The returned error also wraps the context's own
+// Err(), so errors.Is works against context.Canceled and
+// context.DeadlineExceeded.
+var ErrCancelled = errors.New("ltj: evaluation cancelled")
 
 // Result is the outcome of an evaluation.
 type Result struct {
@@ -178,10 +193,32 @@ func StreamStats(idx Index, q graph.Pattern, opt Options, stats *EvalStats, emit
 	if e.varIters, err = buildVarIters(order, e.pats); err != nil {
 		return err
 	}
-	if opt.Parallelism > 1 {
-		return e.searchParallel(idx)
+	if opt.Context != nil {
+		e.ctx = opt.Context
 	}
-	return e.search(0)
+	if opt.Parallelism > 1 {
+		err = e.searchParallel(idx)
+	} else {
+		err = e.search(0)
+	}
+	return e.finishErr(err)
+}
+
+// finishErr maps the engine-internal cancellation sentinel onto the
+// caller-visible contract: a cancelled Options.Context surfaces as an
+// error wrapping ErrCancelled and the context's Err(); internal
+// cancellation (a satisfied Limit in parallel mode, emit returning false)
+// is a clean stop.
+func (e *evaluator) finishErr(err error) error {
+	if err == errCancelled {
+		err = nil
+	}
+	if err == nil && !e.stopped && e.opt.Context != nil {
+		if cerr := e.opt.Context.Err(); cerr != nil {
+			return fmt.Errorf("%w: %w", ErrCancelled, cerr)
+		}
+	}
+	return err
 }
 
 // buildVarIters precomputes, per variable of the elimination order, which
@@ -220,7 +257,7 @@ type evaluator struct {
 	varIters [][]iterVar
 	binding  graph.Binding
 	deadline time.Time
-	ctx      context.Context // non-nil only in parallel mode (cancellation)
+	ctx      context.Context // cancellation: Options.Context, or the workers' derived context in parallel mode
 	ticks    int
 	stopped  bool // emit returned false
 	stats    *EvalStats
@@ -231,8 +268,8 @@ type evaluator struct {
 // the engine: searchParallel folds it into a clean stop.
 var errCancelled = errors.New("ltj: evaluation cancelled")
 
-// checkDeadline polls the clock (and, in parallel mode, the cancellation
-// context) every few hundred steps.
+// checkDeadline polls the clock and the cancellation context every few
+// hundred steps.
 func (e *evaluator) checkDeadline() error {
 	if e.deadline.IsZero() && e.ctx == nil {
 		return nil

@@ -71,7 +71,11 @@ func forkIter(idx Index, p patternEntry) PatternIter {
 // is called on a fully set-up evaluator (iterators created, order chosen,
 // varIters built) in place of e.search(0).
 func (e *evaluator) searchParallel(idx Index) error {
-	ctx, cancel := context.WithCancel(context.Background())
+	parent := context.Background()
+	if e.opt.Context != nil {
+		parent = e.opt.Context
+	}
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
 	// Fork the worker evaluators first, while the main iterators are

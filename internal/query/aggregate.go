@@ -112,7 +112,7 @@ func (a Aggregation) Run(idx ltj.Index) ([]AggRow, error) {
 				return true
 			}
 		}
-		key := bindingKey(b, a.GroupBy)
+		key := BindingKey(b, a.GroupBy)
 		st := groups[key]
 		if st == nil {
 			st = &aggState{

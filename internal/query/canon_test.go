@@ -1,0 +1,133 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+func TestBindingKeyDistinguishesValues(t *testing.T) {
+	vars := []string{"x", "y"}
+	a := graph.Binding{"x": 1, "y": 2}
+	b := graph.Binding{"x": 1, "y": 2}
+	c := graph.Binding{"x": 2, "y": 1}
+	if BindingKey(a, vars) != BindingKey(b, vars) {
+		t.Fatal("equal bindings produced different keys")
+	}
+	if BindingKey(a, vars) == BindingKey(c, vars) {
+		t.Fatal("different bindings collided")
+	}
+	// Restriction to vars: values outside the list must not matter.
+	d := graph.Binding{"x": 1, "y": 2, "z": 99}
+	if BindingKey(a, vars) != BindingKey(d, vars) {
+		t.Fatal("key depends on variables outside vars")
+	}
+}
+
+func TestCacheKeyPatternOrderInsensitive(t *testing.T) {
+	p1 := graph.TP(graph.Var("x"), graph.Const(1), graph.Var("y"))
+	p2 := graph.TP(graph.Var("y"), graph.Const(2), graph.Var("z"))
+	a, ok := Select{Pattern: graph.Pattern{p1, p2}}.CacheKey()
+	if !ok {
+		t.Fatal("unfiltered query not cacheable")
+	}
+	b, ok := Select{Pattern: graph.Pattern{p2, p1}}.CacheKey()
+	if !ok || a != b {
+		t.Fatalf("pattern order changed the key: %q vs %q", a, b)
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	base := Select{Pattern: graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Const(1), graph.Var("y")),
+	}}
+	key := func(s Select) string {
+		t.Helper()
+		k, ok := s.CacheKey()
+		if !ok {
+			t.Fatal("expected cacheable")
+		}
+		return k
+	}
+	k0 := key(base)
+
+	vary := map[string]Select{}
+	s := base
+	s.Pattern = graph.Pattern{graph.TP(graph.Var("a"), graph.Const(1), graph.Var("y"))}
+	vary["variable name"] = s
+	s = base
+	s.Pattern = graph.Pattern{graph.TP(graph.Var("x"), graph.Const(2), graph.Var("y"))}
+	vary["constant"] = s
+	s = base
+	s.Project = []string{"x"}
+	vary["projection"] = s
+	s = base
+	s.Distinct = true
+	vary["distinct"] = s
+	s = base
+	s.OrderBy = []string{"y"}
+	vary["order by"] = s
+	s = base
+	s.Offset = 3
+	vary["offset"] = s
+	s = base
+	s.Limit = 7
+	vary["limit"] = s
+
+	for what, sel := range vary {
+		if key(sel) == k0 {
+			t.Errorf("changing %s did not change the key", what)
+		}
+	}
+
+	// Execution knobs must NOT change the key.
+	s = base
+	s.Parallelism = 8
+	if key(s) != k0 {
+		t.Error("parallelism changed the key")
+	}
+
+	// Filters make the query uncacheable.
+	s = base
+	s.Filters = []Filter{NotEqual("x", "y")}
+	if _, ok := s.CacheKey(); ok {
+		t.Error("filtered query reported cacheable")
+	}
+}
+
+// TestCountMatchesRun pins the shared-core refactor: Count must agree with
+// len(Run()) across clause combinations, without materialising solutions.
+func TestCountMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := testutil.RandomGraph(rng, 400, 15, 3)
+	idx := ringIndex(g)
+	pattern := graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Var("p"), graph.Var("y")),
+		graph.TP(graph.Var("y"), graph.Var("q"), graph.Var("z")),
+	}
+	cases := []Select{
+		{Pattern: pattern},
+		{Pattern: pattern, Distinct: true, Project: []string{"x", "z"}},
+		{Pattern: pattern, Offset: 5},
+		{Pattern: pattern, Limit: 17},
+		{Pattern: pattern, Offset: 1000000},
+		{Pattern: pattern, Offset: 3, Limit: 11, Distinct: true, Project: []string{"y"}},
+		{Pattern: pattern, Filters: []Filter{NotEqual("x", "z")}},
+		{Pattern: pattern, OrderBy: []string{"x"}, Offset: 2, Limit: 9},
+	}
+	for i, sel := range cases {
+		res, err := sel.Run(idx)
+		if err != nil {
+			t.Fatalf("case %d: Run: %v", i, err)
+		}
+		n, err := sel.Count(idx)
+		if err != nil {
+			t.Fatalf("case %d: Count: %v", i, err)
+		}
+		if n != len(res) {
+			t.Errorf("case %d: Count = %d, Run returned %d solutions", i, n, len(res))
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -64,11 +65,18 @@ type Select struct {
 	Limit int
 	// Timeout bounds evaluation (0 = none).
 	Timeout time.Duration
+	// Context, when non-nil, cancels the evaluation when it is done (see
+	// ltj.Options.Context). Cancellation surfaces as an error wrapping
+	// ltj.ErrCancelled and the context's own Err().
+	Context context.Context
 	// Parallelism sets the LTJ worker count (0/1 = sequential; see
 	// ltj.Options.Parallelism). With no ORDER BY the result order becomes
 	// nondeterministic when > 1; filters, projection, DISTINCT and LIMIT
 	// still apply streamingly, on the calling goroutine.
 	Parallelism int
+	// Stats, when non-nil, receives the engine's operation counts for the
+	// evaluation (leaps, binds, seeks, enumerations).
+	Stats *ltj.EvalStats
 }
 
 // Run evaluates the query over the index.
@@ -78,55 +86,14 @@ type Select struct {
 // soon as enough solutions are found. ORDER BY forces full
 // materialisation first.
 func (s Select) Run(idx ltj.Index) ([]graph.Binding, error) {
-	vars := s.Pattern.Vars()
-	varSet := map[string]bool{}
-	for _, v := range vars {
-		varSet[v] = true
+	project, err := s.check()
+	if err != nil {
+		return nil, err
 	}
-	project := s.Project
-	if project == nil {
-		project = vars
-	}
-	for _, v := range project {
-		if !varSet[v] {
-			return nil, fmt.Errorf("query: projected variable %q not in pattern", v)
-		}
-	}
-	for _, v := range s.OrderBy {
-		if !varSet[v] {
-			return nil, fmt.Errorf("query: order-by variable %q not in pattern", v)
-		}
-	}
-	if s.Offset < 0 {
-		return nil, fmt.Errorf("query: negative offset %d", s.Offset)
-	}
-
-	streamingLimit := 0
-	if len(s.OrderBy) == 0 && s.Limit > 0 {
-		streamingLimit = s.Offset + s.Limit
-	}
-
 	var out []graph.Binding
-	seen := map[string]bool{}
-	err := ltj.Stream(idx, s.Pattern, ltj.Options{Timeout: s.Timeout, Parallelism: s.Parallelism}, func(b graph.Binding) bool {
-		for _, f := range s.Filters {
-			if !f(b) {
-				return true
-			}
-		}
-		proj := make(graph.Binding, len(project))
-		for _, v := range project {
-			proj[v] = b[v]
-		}
-		if s.Distinct {
-			key := bindingKey(proj, project)
-			if seen[key] {
-				return true
-			}
-			seen[key] = true
-		}
+	err = s.forEach(idx, project, func(proj graph.Binding) bool {
 		out = append(out, proj)
-		return streamingLimit <= 0 || len(out) < streamingLimit
+		return true
 	})
 	if err != nil {
 		return out, err
@@ -155,18 +122,101 @@ func (s Select) Run(idx ltj.Index) ([]graph.Binding, error) {
 }
 
 // Count evaluates the query and returns only the number of solutions
-// (respecting filters and DISTINCT, ignoring projection order clauses).
+// (respecting filters, DISTINCT, OFFSET and LIMIT; ordering cannot change
+// the count and is ignored). It shares Run's streaming core but never
+// materialises the solutions.
 func (s Select) Count(idx ltj.Index) (int, error) {
 	s.OrderBy = nil
-	res, err := s.Run(idx)
-	return len(res), err
+	project, err := s.check()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	err = s.forEach(idx, project, func(graph.Binding) bool {
+		n++
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if s.Offset > 0 {
+		if s.Offset >= n {
+			return 0, nil
+		}
+		n -= s.Offset
+	}
+	if s.Limit > 0 && n > s.Limit {
+		n = s.Limit
+	}
+	return n, nil
 }
 
-func bindingKey(b graph.Binding, vars []string) string {
-	key := make([]byte, 0, 8*len(vars))
+// check validates the clause variables and resolves the effective
+// projection list.
+func (s Select) check() ([]string, error) {
+	vars := s.Pattern.Vars()
+	varSet := map[string]bool{}
 	for _, v := range vars {
-		x := b[v]
-		key = append(key, byte(x), byte(x>>8), byte(x>>16), byte(x>>24), ';')
+		varSet[v] = true
 	}
-	return string(key)
+	project := s.Project
+	if project == nil {
+		project = vars
+	}
+	for _, v := range project {
+		if !varSet[v] {
+			return nil, fmt.Errorf("query: projected variable %q not in pattern", v)
+		}
+	}
+	for _, v := range s.OrderBy {
+		if !varSet[v] {
+			return nil, fmt.Errorf("query: order-by variable %q not in pattern", v)
+		}
+	}
+	if s.Offset < 0 {
+		return nil, fmt.Errorf("query: negative offset %d", s.Offset)
+	}
+	return project, nil
+}
+
+// forEach is the streaming core shared by Run and Count: it evaluates the
+// join and yields every projected solution that survives the filters and
+// DISTINCT, stopping early once Offset+Limit solutions have been produced
+// (when no ORDER BY forces full materialisation). yield owns the solution
+// it receives.
+func (s Select) forEach(idx ltj.Index, project []string, yield func(graph.Binding) bool) error {
+	streamingLimit := 0
+	if len(s.OrderBy) == 0 && s.Limit > 0 {
+		streamingLimit = s.Offset + s.Limit
+	}
+	stats := s.Stats
+	if stats == nil {
+		stats = &ltj.EvalStats{}
+	}
+	opt := ltj.Options{Timeout: s.Timeout, Context: s.Context, Parallelism: s.Parallelism}
+	n := 0
+	seen := map[string]bool{}
+	return ltj.StreamStats(idx, s.Pattern, opt, stats, func(b graph.Binding) bool {
+		for _, f := range s.Filters {
+			if !f(b) {
+				return true
+			}
+		}
+		proj := make(graph.Binding, len(project))
+		for _, v := range project {
+			proj[v] = b[v]
+		}
+		if s.Distinct {
+			key := BindingKey(proj, project)
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+		}
+		n++
+		if !yield(proj) {
+			return false
+		}
+		return streamingLimit <= 0 || n < streamingLimit
+	})
 }

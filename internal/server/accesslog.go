@@ -1,0 +1,59 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the status code and body size a handler produced,
+// for the access log and the request counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// accessLog wraps a handler with one structured (JSON) log line per
+// request and feeds the per-endpoint request counters. endpoint is the
+// stable label ("query", "metrics", ...) — the raw path would explode
+// cardinality if clients probe random URLs.
+func (s *Server) accessLog(endpoint string, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next(sw, r)
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.met.requests.get(`endpoint="` + endpoint + `",code="` + strconv.Itoa(status) + `"`).inc()
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("endpoint", endpoint),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int("bytes", sw.bytes),
+			slog.Duration("elapsed", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	}
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// errQueueFull sheds a request because the admission wait queue is at
+// capacity. The handler maps it to HTTP 429.
+var errQueueFull = errors.New("server: admission queue full")
+
+// admission is a weighted semaphore with a bounded FIFO wait queue. It
+// bounds the engine work in flight: every query acquires a weight equal to
+// the goroutines its evaluation may occupy, waits in line when the
+// capacity is taken, and is shed outright when the line itself is full —
+// so a traffic burst degrades into fast 429s instead of unbounded
+// goroutine growth.
+//
+// Grants are strictly FIFO: a heavy waiter at the head blocks lighter
+// waiters behind it until it fits. That wastes a little capacity but
+// prevents starvation of expensive queries under a stream of cheap ones.
+type admission struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+	maxQueue int
+	waiters  *list.List // of *waiter, FIFO
+}
+
+type waiter struct {
+	weight int
+	ready  chan struct{} // closed under a.mu when the waiter is granted
+}
+
+// newAdmission creates a semaphore with the given weight capacity and
+// wait-queue bound (0 = no waiting, shed immediately when busy).
+func newAdmission(capacity, maxQueue int) *admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{capacity: capacity, maxQueue: maxQueue, waiters: list.New()}
+}
+
+// acquire blocks until weight units are granted, the queue overflows
+// (errQueueFull) or ctx is done (ctx.Err()). Weights above the capacity
+// are clamped so every request is eventually servable.
+func (a *admission) acquire(ctx context.Context, weight int) error {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.capacity {
+		weight = a.capacity
+	}
+	a.mu.Lock()
+	if a.waiters.Len() == 0 && a.used+weight <= a.capacity {
+		a.used += weight
+		a.mu.Unlock()
+		return nil
+	}
+	if a.waiters.Len() >= a.maxQueue {
+		a.mu.Unlock()
+		return errQueueFull
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	elem := a.waiters.PushBack(w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with the cancellation: the caller will
+			// not run, so give the grant back (which may admit others).
+			a.releaseLocked(weight)
+		default:
+			a.waiters.Remove(elem)
+		}
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns weight units and grants as many queued waiters as now
+// fit, in FIFO order. The weight must match the acquire.
+func (a *admission) release(weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.capacity {
+		weight = a.capacity
+	}
+	a.mu.Lock()
+	a.releaseLocked(weight)
+	a.mu.Unlock()
+}
+
+func (a *admission) releaseLocked(weight int) {
+	a.used -= weight
+	if a.used < 0 {
+		panic("server: admission release without acquire")
+	}
+	for a.waiters.Len() > 0 {
+		w := a.waiters.Front().Value.(*waiter)
+		if a.used+w.weight > a.capacity {
+			break
+		}
+		a.used += w.weight
+		close(w.ready)
+		a.waiters.Remove(a.waiters.Front())
+	}
+}
+
+// snapshot reports the weight in use and the queue length, for metrics.
+func (a *admission) snapshot() (used, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used, a.waiters.Len()
+}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(4, 2)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := a.acquire(ctx, 1); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	used, queued := a.snapshot()
+	if used != 4 || queued != 0 {
+		t.Fatalf("snapshot = (%d,%d), want (4,0)", used, queued)
+	}
+	a.release(1)
+	if used, _ := a.snapshot(); used != 3 {
+		t.Fatalf("used after release = %d, want 3", used)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := context.Background()
+	if err := a.acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue...
+	done := make(chan error, 1)
+	go func() {
+		done <- a.acquire(ctx, 1)
+	}()
+	waitForQueued(t, a, 1)
+	// ...the next is shed synchronously.
+	if err := a.acquire(ctx, 1); !errors.Is(err, errQueueFull) {
+		t.Fatalf("acquire = %v, want errQueueFull", err)
+	}
+	a.release(1)
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	a.release(1)
+}
+
+func TestAdmissionZeroQueueShedsImmediately(t *testing.T) {
+	a := newAdmission(1, 0)
+	ctx := context.Background()
+	if err := a.acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx, 1); !errors.Is(err, errQueueFull) {
+		t.Fatalf("acquire = %v, want errQueueFull", err)
+	}
+	a.release(1)
+}
+
+func TestAdmissionContextCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(ctx, 1) }()
+	waitForQueued(t, a, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire = %v, want context.Canceled", err)
+	}
+	if _, queued := a.snapshot(); queued != 0 {
+		t.Fatalf("cancelled waiter still queued")
+	}
+	// The held slot is unaffected; releasing must leave a clean state.
+	a.release(1)
+	if used, _ := a.snapshot(); used != 0 {
+		t.Fatalf("used = %d, want 0", used)
+	}
+}
+
+func TestAdmissionWeightClamped(t *testing.T) {
+	a := newAdmission(2, 0)
+	ctx := context.Background()
+	// A weight above capacity is clamped, so it is servable.
+	if err := a.acquire(ctx, 100); err != nil {
+		t.Fatalf("oversized acquire: %v", err)
+	}
+	if used, _ := a.snapshot(); used != 2 {
+		t.Fatalf("used = %d, want clamped 2", used)
+	}
+	a.release(100)
+	if used, _ := a.snapshot(); used != 0 {
+		t.Fatalf("used after release = %d, want 0", used)
+	}
+}
+
+func TestAdmissionFIFO(t *testing.T) {
+	a := newAdmission(1, 8)
+	if err := a.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.acquire(context.Background(), 1); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			a.release(1)
+		}()
+		waitForQueued(t, a, i+1) // enqueue deterministically, one at a time
+	}
+	a.release(1)
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v, want FIFO", order)
+		}
+	}
+}
+
+// TestAdmissionConcurrentStress hammers the semaphore from many
+// goroutines (the race lane runs this under -race) and asserts the
+// capacity invariant was never violated.
+func TestAdmissionConcurrentStress(t *testing.T) {
+	const capacity = 3
+	a := newAdmission(capacity, 64)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := a.acquire(context.Background(), 1); err != nil {
+					continue // shed under burst: fine
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				cur.Add(-1)
+				a.release(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("peak concurrency %d exceeded capacity %d", p, capacity)
+	}
+	if used, queued := a.snapshot(); used != 0 || queued != 0 {
+		t.Fatalf("final snapshot = (%d,%d), want (0,0)", used, queued)
+	}
+}
+
+func waitForQueued(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, queued := a.snapshot(); queued >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d waiters", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

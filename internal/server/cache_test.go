@@ -1,0 +1,134 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sol(pairs ...string) map[string]string {
+	m := map[string]string{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m[pairs[i]] = pairs[i+1]
+	}
+	return m
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := newResultCache(4, 1<<20)
+	if _, ok := c.get("q1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("q1", []map[string]string{sol("x", "alice")})
+	got, ok := c.get("q1")
+	if !ok || len(got) != 1 || got[0]["x"] != "alice" {
+		t.Fatalf("get = %v, %v", got, ok)
+	}
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2, 1<<20)
+	c.put("a", nil)
+	c.put("b", nil)
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", nil) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if st := c.stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction / 2 entries", st)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	// Empty-result entries cost len(key)+64 bytes; three fit only two at a
+	// time under a 140-byte bound.
+	c := newResultCache(0, 140)
+	c.put("a", nil)
+	c.put("b", nil)
+	c.put("c", nil)
+	st := c.stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries / 1 eviction", st)
+	}
+	if st.Bytes > 140 {
+		t.Fatalf("bytes = %d, exceeds bound", st.Bytes)
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry should have been evicted")
+	}
+}
+
+func TestCacheOversizeEntrySkipped(t *testing.T) {
+	c := newResultCache(4, 100)
+	c.put("big", []map[string]string{sol("x", strings.Repeat("v", 200))})
+	if st := c.stats(); st.Entries != 0 {
+		t.Fatalf("oversize entry was cached: %+v", st)
+	}
+}
+
+func TestCacheRefreshInPlace(t *testing.T) {
+	c := newResultCache(4, 1<<20)
+	c.put("q", []map[string]string{sol("x", "old")})
+	c.put("q", []map[string]string{sol("x", "new"), sol("x", "er")})
+	got, ok := c.get("q")
+	if !ok || len(got) != 2 || got[0]["x"] != "new" {
+		t.Fatalf("refresh lost: %v %v", got, ok)
+	}
+	st := c.stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 after refresh", st.Entries)
+	}
+	if want := entrySize("q", got); st.Bytes != want {
+		t.Fatalf("bytes = %d, want re-accounted %d", st.Bytes, want)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := newResultCache(4, 1<<20)
+	c.put("a", nil)
+	c.put("b", nil)
+	c.invalidate()
+	st := c.stats()
+	if st.Entries != 0 || st.Bytes != 0 || st.Invalidations != 1 {
+		t.Fatalf("stats after invalidate = %+v", st)
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("entry survived invalidation")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(8, 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("q%d", (g+i)%16)
+				if _, ok := c.get(key); !ok {
+					c.put(key, []map[string]string{sol("x", key)})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.stats(); st.Entries > 8 {
+		t.Fatalf("entry bound violated: %+v", st)
+	}
+}

@@ -1,0 +1,495 @@
+// Package server is the resident serving layer over the ring: it loads an
+// index once and multiplexes concurrent basic-graph-pattern queries over
+// it through HTTP, with the controls a long-running process needs —
+// admission control (a weighted semaphore with a bounded wait queue, so
+// overload degrades into fast 429/503 shedding instead of goroutine
+// growth), per-request deadlines and client-disconnect cancellation
+// plumbed into the LTJ engine, an LRU result cache keyed on the canonical
+// query form, Prometheus-text metrics, structured access logs, and
+// readiness/draining state for orchestrated deployments.
+//
+// The request path is admission → cache → engine:
+//
+//	parse → compile → cache lookup ── hit ──────────────► respond
+//	                      │ miss
+//	                      ▼
+//	            admission.acquire (bounded queue; shed 429/503)
+//	                      ▼
+//	            query.Select.Run (ltj over the shared ring,
+//	                      │        ctx-cancellable, deadline-bounded)
+//	                      ▼
+//	            decode → cache fill → respond
+//
+// The ring's query structures are immutable after load, so queries share
+// the index without locks; all mutable state (cache, counters, admission)
+// is internally synchronized.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	wcoring "repro"
+	"repro/internal/graph"
+	"repro/internal/ltj"
+	"repro/internal/query"
+	"repro/internal/ring"
+)
+
+// Config sizes the server. Zero values select the documented defaults; a
+// negative CacheEntries disables the result cache.
+type Config struct {
+	// Store is the loaded index. May be nil at construction for async
+	// loading — the server answers 503 until SetStore succeeds.
+	Store *wcoring.Store
+	// MaxConcurrent is the admission semaphore's weight capacity — the
+	// engine goroutines allowed to evaluate at once (default GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds the admission wait queue; requests beyond it are
+	// shed with 429 (default 4×MaxConcurrent).
+	MaxQueue int
+	// QueueWait bounds how long a request may wait for admission before a
+	// 503 (default 2s).
+	QueueWait time.Duration
+	// DefaultTimeout is the per-query evaluation deadline when the request
+	// does not set one (default 10s); MaxTimeout caps what a request may
+	// ask for (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DefaultLimit is the solution cap when the request does not set one
+	// (default 1000); MaxLimit caps what a request may ask for
+	// (default 100000).
+	DefaultLimit int
+	MaxLimit     int
+	// Parallelism is the LTJ worker count per query (0/1 = sequential).
+	// Each admitted query weighs max(1, Parallelism) semaphore units, so
+	// MaxConcurrent bounds engine goroutines regardless of this setting.
+	Parallelism int
+	// CacheEntries and CacheBytes bound the result cache (defaults 256
+	// entries, 64 MiB). CacheEntries < 0 disables caching.
+	CacheEntries int
+	CacheBytes   int64
+	// AccessLog receives one JSON line per request (default os.Stderr).
+	AccessLog io.Writer
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.MaxConcurrent
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 2 * time.Second
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 60 * time.Second
+	}
+	if cfg.DefaultLimit <= 0 {
+		cfg.DefaultLimit = 1000
+	}
+	if cfg.MaxLimit <= 0 {
+		cfg.MaxLimit = 100000
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.AccessLog == nil {
+		cfg.AccessLog = os.Stderr
+	}
+}
+
+// Server is the HTTP serving layer. Construct with New, expose Handler()
+// through an http.Server, and call BeginDrain before shutting that server
+// down gracefully.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	adm    *admission
+	cache  *resultCache // nil when disabled
+	met    *metrics
+	log    *slog.Logger
+	weight int // admission weight of one query
+
+	store      atomic.Pointer[wcoring.Store]
+	indexStats atomic.Pointer[ring.Stats]
+	ready      atomic.Bool
+	draining   atomic.Bool
+}
+
+// New builds a server. If cfg.Store is non-nil it is installed (and
+// self-checked) immediately; otherwise the server starts not-ready and
+// SetStore completes initialisation.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		adm: newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		met: newMetrics(),
+		log: slog.New(slog.NewJSONHandler(cfg.AccessLog, nil)),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheEntries, cfg.CacheBytes)
+	}
+	s.weight = cfg.Parallelism
+	if s.weight < 1 {
+		s.weight = 1
+	}
+	if s.weight > cfg.MaxConcurrent {
+		s.weight = cfg.MaxConcurrent
+	}
+
+	s.mux.HandleFunc("/query", s.accessLog("query", s.handleQuery))
+	s.mux.HandleFunc("/healthz", s.accessLog("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.accessLog("readyz", s.handleReadyz))
+	s.mux.HandleFunc("/metrics", s.accessLog("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/stats", s.accessLog("stats", s.handleStats))
+	s.mux.HandleFunc("/cache/invalidate", s.accessLog("cache_invalidate", s.handleInvalidate))
+
+	if cfg.Store != nil {
+		if err := s.SetStore(cfg.Store); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetStore installs (or replaces) the index: it self-checks the store
+// with a statistics scan and an end-to-end probe query, invalidates the
+// result cache if a previous index was being served, publishes the index
+// gauges and marks the server ready. Safe to call from a loader goroutine
+// while the server is already accepting (and 503-ing) requests.
+func (s *Server) SetStore(st *wcoring.Store) error {
+	stats := st.Ring().Stats()
+	if stats.Triples != st.Len() {
+		return fmt.Errorf("server: self-check failed: ring reports %d triples, store %d", stats.Triples, st.Len())
+	}
+	probe := []wcoring.PatternString{{S: "?s", P: "?p", O: "?o"}}
+	if _, err := st.Query(probe, wcoring.QueryOptions{Limit: 1, Timeout: 30 * time.Second}); err != nil {
+		return fmt.Errorf("server: self-check query failed: %w", err)
+	}
+	if s.store.Swap(st) != nil && s.cache != nil {
+		s.cache.invalidate() // replacing a live index: cached results are stale
+	}
+	s.indexStats.Store(&stats)
+	s.met.indexTriples.set(int64(stats.Triples))
+	s.met.indexSubjects.set(int64(stats.DistinctSubjects))
+	s.met.indexPredicates.set(int64(stats.DistinctPredicates))
+	s.met.indexObjects.set(int64(stats.DistinctObjects))
+	s.ready.Store(true)
+	s.log.Info("index ready",
+		"triples", stats.Triples,
+		"bytes_per_triple", float64(st.SizeBytes())/float64(max(1, st.Len())))
+	return nil
+}
+
+// BeginDrain flips the server into draining mode: /readyz reports 503 (so
+// load balancers stop routing here) and new queries are refused, while
+// queries already admitted run to completion. The caller then shuts the
+// http.Server down gracefully with its own hard deadline.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.log.Info("drain started")
+	}
+}
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+	case !s.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "loading\n")
+	default:
+		io.WriteString(w, "ready\n")
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	used, queued := s.adm.snapshot()
+	s.met.inFlight.set(int64(used))
+	s.met.queueDepth.set(int64(queued))
+	ready := int64(0)
+	if s.ready.Load() && !s.draining.Load() {
+		ready = 1
+	}
+	s.met.ready.set(ready)
+	var cs cacheStats
+	if s.cache != nil {
+		cs = s.cache.stats()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.writeProm(w, cs)
+}
+
+// statsResponse is the body of GET /stats: the index-wide statistics the
+// ring answers from its own structures, plus serving-side state.
+type statsResponse struct {
+	Triples            int        `json:"triples"`
+	DistinctSubjects   int        `json:"distinct_subjects"`
+	DistinctPredicates int        `json:"distinct_predicates"`
+	DistinctObjects    int        `json:"distinct_objects"`
+	IndexBytes         int        `json:"index_bytes"`
+	Ready              bool       `json:"ready"`
+	Draining           bool       `json:"draining"`
+	Cache              cacheStats `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Load()
+	stats := s.indexStats.Load()
+	if st == nil || stats == nil {
+		jsonError(w, http.StatusServiceUnavailable, "index loading")
+		return
+	}
+	resp := statsResponse{
+		Triples:            stats.Triples,
+		DistinctSubjects:   stats.DistinctSubjects,
+		DistinctPredicates: stats.DistinctPredicates,
+		DistinctObjects:    stats.DistinctObjects,
+		IndexBytes:         st.SizeBytes(),
+		Ready:              s.ready.Load() && !s.draining.Load(),
+		Draining:           s.draining.Load(),
+	}
+	if s.cache != nil {
+		resp.Cache = s.cache.stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.cache == nil {
+		jsonError(w, http.StatusNotFound, "cache disabled")
+		return
+	}
+	s.cache.invalidate()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "invalidated"})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	store := s.store.Load()
+	switch {
+	case s.draining.Load():
+		s.met.queries.get(`outcome="shed"`).inc()
+		s.met.shed.get(`reason="draining"`).inc()
+		w.Header().Set("Retry-After", "1")
+		jsonError(w, http.StatusServiceUnavailable, "draining")
+		return
+	case store == nil || !s.ready.Load():
+		s.met.queries.get(`outcome="shed"`).inc()
+		s.met.shed.get(`reason="not_ready"`).inc()
+		w.Header().Set("Retry-After", "1")
+		jsonError(w, http.StatusServiceUnavailable, "index loading")
+		return
+	}
+
+	req, err := parseRequest(r)
+	if err != nil {
+		s.met.queries.get(`outcome="bad_request"`).inc()
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	timeout := effectiveTimeout(req.TimeoutMS, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	limit := effectiveLimit(req.Limit, s.cfg.DefaultLimit, s.cfg.MaxLimit)
+	start := time.Now()
+
+	encoded, predVars, feasible, err := store.Compile(req.patternStrings())
+	if err != nil {
+		s.met.queries.get(`outcome="bad_request"`).inc()
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := checkVars(encoded, req.Project, req.OrderBy, feasible); err != nil {
+		s.met.queries.get(`outcome="bad_request"`).inc()
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !feasible {
+		// A constant is absent from the dictionary: provably no solutions.
+		s.met.queries.get(`outcome="ok"`).inc()
+		s.respond(w, &QueryResponse{Solutions: []map[string]string{}, ElapsedMS: msSince(start)})
+		return
+	}
+
+	sel := query.Select{
+		Pattern:     encoded,
+		Project:     req.Project,
+		Distinct:    req.Distinct,
+		OrderBy:     req.OrderBy,
+		Offset:      req.Offset,
+		Limit:       limit,
+		Timeout:     timeout,
+		Parallelism: s.cfg.Parallelism,
+	}
+	key, cacheable := sel.CacheKey()
+	cacheable = cacheable && s.cache != nil && !req.NoCache
+	if cacheable {
+		if sols, ok := s.cache.get(key); ok {
+			s.met.queries.get(`outcome="cache_hit"`).inc()
+			s.met.queryDur.observe(time.Since(start))
+			s.respond(w, &QueryResponse{Solutions: sols, Cached: true, ElapsedMS: msSince(start)})
+			return
+		}
+	}
+
+	// Admission: wait in the bounded queue for at most QueueWait (or
+	// until the client goes away), then hold the weight for the whole
+	// evaluation.
+	waitCtx, cancelWait := context.WithTimeout(r.Context(), s.cfg.QueueWait)
+	err = s.adm.acquire(waitCtx, s.weight)
+	cancelWait()
+	if err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.met.queries.get(`outcome="shed"`).inc()
+			s.met.shed.get(`reason="queue_full"`).inc()
+			w.Header().Set("Retry-After", "1")
+			jsonError(w, http.StatusTooManyRequests, "server saturated: admission queue full")
+		case r.Context().Err() != nil:
+			s.met.queries.get(`outcome="cancelled"`).inc()
+			w.WriteHeader(statusClientClosedRequest)
+		default: // queue wait timed out
+			s.met.queries.get(`outcome="shed"`).inc()
+			s.met.shed.get(`reason="queue_timeout"`).inc()
+			w.Header().Set("Retry-After", "1")
+			jsonError(w, http.StatusServiceUnavailable, "server saturated: admission wait timed out")
+		}
+		return
+	}
+	defer s.adm.release(s.weight)
+
+	var st ltj.EvalStats
+	sel.Stats = &st
+	sel.Context = r.Context()
+	rg := store.Ring()
+	sols, err := sel.Run(ltj.IndexFunc(func(tp graph.TriplePattern) ltj.PatternIter {
+		return rg.NewPatternState(tp)
+	}))
+	elapsed := time.Since(start)
+	s.met.ltjLeaps.add(int64(st.Leaps))
+	s.met.ltjBinds.add(int64(st.Binds))
+	s.met.ltjSeeks.add(int64(st.Seeks))
+	s.met.ltjEnums.add(int64(st.Enumerations))
+	s.met.queryDur.observe(elapsed)
+
+	timedOut := errors.Is(err, ltj.ErrTimeout)
+	if err != nil && !timedOut {
+		if errors.Is(err, ltj.ErrCancelled) {
+			// The client went away mid-evaluation; nobody reads the body.
+			s.met.queries.get(`outcome="cancelled"`).inc()
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+		s.met.queries.get(`outcome="error"`).inc()
+		jsonError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	decoded := make([]map[string]string, len(sols))
+	d := store.Dictionary()
+	for i, b := range sols {
+		decoded[i] = d.DecodeBinding(b, predVars)
+	}
+	if cacheable && !timedOut {
+		s.cache.put(key, decoded)
+	}
+	outcome := `outcome="ok"`
+	if timedOut {
+		outcome = `outcome="timeout"`
+	}
+	s.met.queries.get(outcome).inc()
+	s.respond(w, &QueryResponse{
+		Solutions: decoded,
+		TimedOut:  timedOut,
+		ElapsedMS: msSince(start),
+		Stats:     statsJSON(st),
+	})
+}
+
+// statusClientClosedRequest is nginx's conventional code for "client
+// disconnected before the response": nothing standard fits, and access
+// logs need to tell these from real errors.
+const statusClientClosedRequest = 499
+
+// checkVars validates projection and order-by variables against the
+// pattern before evaluation, so typos come back as 400s, not 500s. When
+// the query is infeasible (a constant missing from the dictionary) the
+// compiled pattern is empty and validation is skipped — the result is
+// empty either way.
+func checkVars(p graph.Pattern, project, orderBy []string, feasible bool) error {
+	if !feasible {
+		return nil
+	}
+	vars := map[string]bool{}
+	for _, v := range p.Vars() {
+		vars[v] = true
+	}
+	for _, v := range project {
+		if !vars[v] {
+			return fmt.Errorf("projected variable %q not in pattern", v)
+		}
+	}
+	for _, v := range orderBy {
+		if !vars[v] {
+			return fmt.Errorf("order-by variable %q not in pattern", v)
+		}
+	}
+	return nil
+}
+
+func (s *Server) respond(w http.ResponseWriter, resp *QueryResponse) {
+	if resp.Solutions == nil {
+		resp.Solutions = []map[string]string{}
+	}
+	resp.Count = len(resp.Solutions)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}

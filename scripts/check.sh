@@ -1,9 +1,10 @@
 #!/bin/sh
 # CI gate: formatting, vet, the repo-specific ringlint analyzers, build,
 # shuffled tests, the ringdebug assertion lane, the full-module
-# race-detector lane (~4m on a single-CPU container), and a
-# compile-and-smoke pass over every benchmark (one iteration each).
-# Equivalent to `make check`; kept as a script for environments
+# race-detector lane (~4m on a single-CPU container), a
+# compile-and-smoke pass over every benchmark (one iteration each), and
+# the end-to-end ringserve smoke (query, overload shedding, SIGTERM
+# drain). Equivalent to `make check`; kept as a script for environments
 # without make.
 set -eu
 cd "$(dirname "$0")/.."
@@ -36,5 +37,8 @@ go test -race ./...
 
 echo "== bench smoke (compile and run every benchmark once)"
 go test -run '^$' -bench . -benchtime 1x ./...
+
+echo "== serve smoke (end-to-end ringserve: query, shed, drain)"
+sh scripts/serve_smoke.sh
 
 echo "all checks passed"

@@ -31,6 +31,7 @@ package wcoring
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -101,12 +102,21 @@ func NewRing(g *Graph, opt Options) *Ring {
 	return ring.New(g, ring.Options{Compress: opt.Compress, RRRBlock: opt.RRRBlock, SparseC: opt.SparseC})
 }
 
+// EvalStats counts the trie-iterator operations of one evaluation (see
+// ltj.EvalStats).
+type EvalStats = ltj.EvalStats
+
 // QueryOptions mirrors the evaluation knobs of the paper's benchmarks.
 type QueryOptions struct {
 	// Limit caps the number of solutions (0 = unlimited).
 	Limit int
 	// Timeout aborts evaluation (0 = none).
 	Timeout time.Duration
+	// Context, when non-nil, cancels the evaluation when it is done (e.g.
+	// a serving layer's per-request deadline or a disconnected client).
+	// Cancellation surfaces as an error wrapping ErrCancelled and the
+	// context's own Err().
+	Context context.Context
 	// Order forces a variable elimination order (nil = automatic).
 	Order []string
 	// Parallelism sets the number of worker goroutines for intra-query
@@ -123,8 +133,8 @@ func Evaluate(r *Ring, q Pattern, opt QueryOptions) ([]Binding, error) {
 		return r.NewPatternState(tp)
 	})
 	res, err := ltj.Evaluate(idx, q, ltj.Options{
-		Limit: opt.Limit, Timeout: opt.Timeout, Order: opt.Order,
-		Parallelism: opt.Parallelism,
+		Limit: opt.Limit, Timeout: opt.Timeout, Context: opt.Context,
+		Order: opt.Order, Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -138,6 +148,10 @@ func Evaluate(r *Ring, q Pattern, opt QueryOptions) ([]Binding, error) {
 // ErrTimeout reports that evaluation hit QueryOptions.Timeout; partial
 // solutions are still returned.
 var ErrTimeout = errors.New("wcoring: query timed out")
+
+// ErrCancelled reports that QueryOptions.Context was cancelled before the
+// evaluation finished; the returned error also wraps the context's Err().
+var ErrCancelled = ltj.ErrCancelled
 
 // Store bundles a dictionary, the ring, and string-level querying — the
 // end-to-end API a downstream application uses.
@@ -171,6 +185,16 @@ func (s *Store) SizeBytes() int { return s.ring.SizeBytes() }
 // with '?' are variables.
 type PatternString struct {
 	S, P, O string
+}
+
+// Compile translates string patterns to the encoded form: the identifier-
+// level pattern plus the set of variables bound at predicate positions
+// (those decode through the predicate dictionary). feasible is false when
+// a constant is absent from the dictionary, which makes the query provably
+// empty. Exported for serving layers that plan, cache or instrument
+// queries at the identifier level before evaluating them.
+func (s *Store) Compile(q []PatternString) (encoded Pattern, predVars map[string]bool, feasible bool, err error) {
+	return s.compile(q)
 }
 
 // compile translates string patterns to the encoded form. Constants
@@ -263,6 +287,10 @@ type SelectOptions struct {
 	OrderBy []string
 	// Offset skips the first results (applied after ordering).
 	Offset int
+	// Stats, when non-nil, receives the engine's operation counts for the
+	// evaluation (leaps, binds, seeks, enumerations) — the serving layer
+	// exports them as metrics.
+	Stats *EvalStats
 }
 
 // Select evaluates a query with projection/DISTINCT/ORDER BY/OFFSET on
@@ -286,7 +314,9 @@ func (s *Store) Select(q []PatternString, opt SelectOptions) ([]map[string]strin
 		Offset:      opt.Offset,
 		Limit:       opt.Limit,
 		Timeout:     opt.Timeout,
+		Context:     opt.Context,
 		Parallelism: opt.Parallelism,
+		Stats:       opt.Stats,
 	}.Run(idx)
 	if err != nil {
 		return nil, err
