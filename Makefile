@@ -21,15 +21,18 @@
 #                         clients x cache on/off), writing BENCH_serve.json
 #   make serve-smoke      end-to-end ringserve smoke: build, index, serve,
 #                         query, overload shedding, SIGTERM drain
+#   make persist-smoke    end-to-end live-update smoke: insert over HTTP,
+#                         SIGKILL, recover from the WAL, drain with a
+#                         final checkpoint, inspect with ringstats
 #   make check  fmt + vet + lint + build + test + test-debug + race +
-#               bench-smoke + serve-smoke
+#               bench-smoke + serve-smoke + persist-smoke
 
 GO ?= go
 BENCH_COUNT ?= 1
 
-.PHONY: check fmt vet lint build test test-debug race bench bench-smoke bench-substrate bench-serve serve-smoke
+.PHONY: check fmt vet lint build test test-debug race bench bench-smoke bench-substrate bench-serve serve-smoke persist-smoke
 
-check: fmt vet lint build test test-debug race bench-smoke serve-smoke
+check: fmt vet lint build test test-debug race bench-smoke serve-smoke persist-smoke
 
 fmt:
 	@unformatted=$$(gofmt -s -l .); \
@@ -71,3 +74,6 @@ bench-serve:
 
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+persist-smoke:
+	sh scripts/persist_smoke.sh

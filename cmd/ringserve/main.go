@@ -6,13 +6,21 @@
 // Usage:
 //
 //	ringserve -index graph.ring [-addr :8080] [-parallel 0] ...
+//	ringserve -data-dir ./data  [-addr :8080] ...
+//
+// With -index the server is read-only over a ring built by ringbuild.
+// With -data-dir it serves a live store: the directory's manifest and
+// write-ahead log are recovered before /readyz flips, and POST /insert
+// and /delete append durably (200 after fsync, 202 when "sync": false).
 //
 // Endpoints:
 //
 //	POST /query             {"pattern":[{"s":"?x","p":"winner","o":"?y"}], "limit":10}
 //	GET  /query?q=?x+winner+?y
+//	POST /insert            {"triples":[{"s":"a","p":"knows","o":"b"}]}   (live mode)
+//	POST /delete            {"triples":[{"s":"a","p":"knows","o":"b"}]}   (live mode)
 //	GET  /healthz           process liveness
-//	GET  /readyz            503 until the index is loaded and self-checked
+//	GET  /readyz            503 until the index is loaded/recovered and self-checked
 //	GET  /metrics           Prometheus text exposition
 //	GET  /stats             index statistics as JSON
 //	POST /cache/invalidate  drop every cached result
@@ -20,8 +28,9 @@
 // The index loads asynchronously: the server binds and answers
 // /healthz immediately, and /readyz flips to 200 once the self-check
 // passes. On SIGTERM (or SIGINT) the server stops accepting queries,
-// drains in-flight evaluations, and exits 0 — or exits 1 if the drain
-// exceeds -drain-timeout and connections had to be torn down.
+// drains in-flight evaluations — in live mode it then checkpoints and
+// seals the WAL — and exits 0, or exits 1 if the drain exceeds
+// -drain-timeout and connections had to be torn down.
 package main
 
 import (
@@ -35,10 +44,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	wcoring "repro"
+	"repro/internal/persist"
 	"repro/internal/server"
 )
 
@@ -46,7 +57,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ringserve: ")
 
-	index := flag.String("index", "", "index file built by ringbuild (required)")
+	index := flag.String("index", "", "index file built by ringbuild (read-only mode)")
+	dataDir := flag.String("data-dir", "", "data directory for live updates (WAL + snapshots)")
+	memtable := flag.Int("memtable", 0, "live mode: memtable flush threshold in triples (0 = default)")
+	maxRings := flag.Int("max-rings", 0, "live mode: static-ring budget before merging (0 = default)")
 	addr := flag.String("addr", ":8080", "listen address")
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission capacity in engine goroutines (0 = GOMAXPROCS)")
 	maxQueue := flag.Int("max-queue", 0, "admission wait-queue bound (0 = 4x max-concurrent)")
@@ -60,7 +74,8 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache approximate byte bound")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "hard deadline for in-flight queries after SIGTERM")
 	flag.Parse()
-	if *index == "" {
+	if (*index == "") == (*dataDir == "") {
+		fmt.Fprintln(os.Stderr, "ringserve: exactly one of -index or -data-dir is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -85,9 +100,16 @@ func main() {
 	}
 
 	// Load the index in the background so /healthz (and a 503 /readyz)
-	// answer immediately; loadErr resolves once the self-check passes.
+	// answer immediately; loadErr resolves once the self-check passes. In
+	// live mode this is WAL + manifest recovery; liveDB is published for
+	// the drain path to close (final checkpoint + WAL seal).
+	var liveDB atomic.Pointer[persist.DB]
 	loadErr := make(chan error, 1)
-	go func() { loadErr <- loadStore(srv, *index) }()
+	if *dataDir != "" {
+		go func() { loadErr <- openLive(srv, &liveDB, *dataDir, *memtable, *maxRings) }()
+	} else {
+		go func() { loadErr <- loadStore(srv, *index) }()
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -96,7 +118,11 @@ func main() {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (index %s loading)", *addr, *index)
+	source := *index
+	if *dataDir != "" {
+		source = *dataDir + " (live)"
+	}
+	log.Printf("listening on %s (%s loading)", *addr, source)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -124,12 +150,53 @@ func main() {
 			if err != nil {
 				log.Printf("drain deadline exceeded, closing: %v", err)
 				httpSrv.Close()
+				closeLive(&liveDB)
 				os.Exit(1)
 			}
+			closeLive(&liveDB)
 			log.Printf("drain complete")
 			return
 		}
 	}
+}
+
+// openLive recovers the data directory (manifest snapshot + WAL replay)
+// and installs the live DB; /readyz flips only after recovery and the
+// self-check probe pass.
+func openLive(srv *server.Server, slot *atomic.Pointer[persist.DB], dir string, memtable, maxRings int) error {
+	start := time.Now()
+	db, err := persist.Open(dir, persist.Options{
+		MemtableThreshold: memtable,
+		MaxRings:          maxRings,
+	})
+	if err != nil {
+		return fmt.Errorf("opening %s: %w", dir, err)
+	}
+	if err := srv.SetLive(db); err != nil {
+		db.Close()
+		return err
+	}
+	slot.Store(db)
+	st := db.Stats()
+	log.Printf("recovered %s: %d triples (replayed %d WAL batches, torn tail: %v) in %v",
+		dir, st.Triples, st.RecoveryBatches, st.RecoveryTorn, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// closeLive checkpoints and seals the live DB, if one was opened. Runs
+// after the HTTP server has stopped accepting requests, so no writer can
+// race the final checkpoint.
+func closeLive(slot *atomic.Pointer[persist.DB]) {
+	db := slot.Load()
+	if db == nil {
+		return
+	}
+	start := time.Now()
+	if err := db.Close(); err != nil {
+		log.Printf("closing data dir: %v", err)
+		return
+	}
+	log.Printf("data dir checkpointed and sealed in %v", time.Since(start).Round(time.Millisecond))
 }
 
 // loadStore reads the index file and installs it into the server (which

@@ -1,11 +1,15 @@
 // Command ringstats inspects a serialized ring index (built by
 // ringbuild): global statistics, the predicate frequency head, space
 // accounting, and — with -pattern — the on-the-fly cardinality estimate
-// of Section 4.3 for a triple pattern.
+// of Section 4.3 for a triple pattern. With -data-dir it instead
+// inspects a live-update data directory (manifest version, per-ring
+// sizes, WAL segments and estimated recovery replay) without opening or
+// mutating it — safe against a running server.
 //
 // Usage:
 //
 //	ringstats -index graph.ring [-top 10] [-pattern '?x p0 ?y']
+//	ringstats -data-dir ./data
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"strings"
 
 	wcoring "repro"
+	"repro/internal/persist"
 )
 
 func main() {
@@ -24,12 +29,18 @@ func main() {
 	log.SetPrefix("ringstats: ")
 
 	index := flag.String("index", "", "index file built by ringbuild")
+	dataDir := flag.String("data-dir", "", "live-update data directory to inspect (read-only)")
 	top := flag.Int("top", 10, "show the k most frequent predicates")
 	pattern := flag.String("pattern", "", "report the cardinality of one 's p o' pattern ('?x' = variable)")
 	flag.Parse()
-	if *index == "" {
+	if (*index == "") == (*dataDir == "") {
+		fmt.Fprintln(os.Stderr, "ringstats: exactly one of -index or -data-dir is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *dataDir != "" {
+		inspectDataDir(*dataDir)
+		return
 	}
 
 	f, err := os.Open(*index)
@@ -73,6 +84,50 @@ func main() {
 		}
 		fmt.Printf("\npattern %q matches %d triples (O(log U) estimate per §4.3)\n", *pattern, count)
 	}
+}
+
+// inspectDataDir prints the persistence report for a live-update data
+// directory.
+func inspectDataDir(dir string) {
+	rep, err := persist.Inspect(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("manifest version:    %d (generation %d)\n", rep.ManifestVersion, rep.Generation)
+	fmt.Printf("triples (snapshot):  %d\n", rep.Triples)
+	fmt.Printf("subject/object ids:  %d   predicate ids: %d\n", rep.NumSO, rep.NumP)
+	if rep.DictFile != "" {
+		fmt.Printf("dictionary:          %s (%d bytes)\n", rep.DictFile, rep.DictBytes)
+	}
+	var ringBytes int64
+	fmt.Printf("static rings:        %d\n", len(rep.Rings))
+	for _, r := range rep.Rings {
+		ringBytes += r.Bytes
+		bpt := 0.0
+		if r.Triples > 0 {
+			bpt = float64(r.Bytes) / float64(r.Triples)
+		}
+		fmt.Printf("  %-24s %10d triples %12d bytes (%.2f bytes/triple)\n", r.Name, r.Triples, r.Bytes, bpt)
+	}
+	if ringBytes > 0 {
+		fmt.Printf("ring bytes total:    %d\n", ringBytes)
+	}
+	fmt.Printf("wal floor:           segment %d\n", rep.WALFloor)
+	fmt.Printf("wal segments:        %d\n", len(rep.Segments))
+	for _, s := range rep.Segments {
+		state := "sealed"
+		switch {
+		case s.Err != "":
+			state = "CORRUPT: " + s.Err
+		case s.Torn:
+			state = "torn tail (recoverable)"
+		case s.Live:
+			state = "live"
+		}
+		fmt.Printf("  wal-%016x.log %10d bytes  %6d batches %7d ops  %s\n",
+			s.Seq, s.Bytes, s.Batches, s.Ops, state)
+	}
+	fmt.Printf("estimated replay:    %d batches / %d ops on next open\n", rep.ReplayBatches, rep.ReplayOps)
 }
 
 // patternCount resolves the string pattern and asks the ring for its

@@ -5,6 +5,11 @@
 // object gets one ID — while predicates use a separate, smaller space.
 // Identifiers are assigned in lexicographic order, so ID comparisons agree
 // with string comparisons within each space.
+//
+// A dictionary can also grow after construction (AddSO/AddP): live-update
+// layers append terms as they arrive, so appended IDs follow arrival
+// order, not lexicographic order. Serialization preserves the append
+// order, which keeps persisted encoded triples stable across reloads.
 package dict
 
 import (
@@ -73,6 +78,32 @@ func (d *Dictionary) NumSO() graph.ID { return graph.ID(len(d.so)) }
 
 // NumP returns the size of the predicate space.
 func (d *Dictionary) NumP() graph.ID { return graph.ID(len(d.p)) }
+
+// AddSO returns the ID of a subject/object constant, appending it to the
+// space if absent. Appended IDs follow arrival order; callers that share
+// a dictionary across goroutines must provide their own synchronization
+// (the persistence layer holds its writer lock here).
+func (d *Dictionary) AddSO(s string) graph.ID {
+	if id, ok := d.soIDs[s]; ok {
+		return id
+	}
+	id := graph.ID(len(d.so))
+	d.so = append(d.so, s)
+	d.soIDs[s] = id
+	return id
+}
+
+// AddP returns the ID of a predicate constant, appending it to the space
+// if absent. See AddSO for the ordering and synchronization contract.
+func (d *Dictionary) AddP(s string) graph.ID {
+	if id, ok := d.pIDs[s]; ok {
+		return id
+	}
+	id := graph.ID(len(d.p))
+	d.p = append(d.p, s)
+	d.pIDs[s] = id
+	return id
+}
 
 // EncodeSO returns the ID of a subject/object constant.
 func (d *Dictionary) EncodeSO(s string) (graph.ID, bool) {

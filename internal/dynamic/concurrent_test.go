@@ -1,0 +1,164 @@
+package dynamic
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ltj"
+)
+
+// TestBackgroundCompaction exercises the compaction goroutine: flushes
+// and merges happen off the writer path, the ring budget is eventually
+// enforced, and FlushNow leaves everything in static rings.
+func TestBackgroundCompaction(t *testing.T) {
+	s := New(Options{MemtableThreshold: 32, MaxRings: 2, Background: true})
+	defer s.Close()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		s.Add(graph.Triple{
+			S: graph.ID(rng.Intn(200)), P: graph.ID(rng.Intn(4)), O: graph.ID(rng.Intn(200)),
+		})
+	}
+	s.FlushNow()
+	if s.MemtableLen() != 0 {
+		t.Fatalf("FlushNow left %d buffered triples", s.MemtableLen())
+	}
+	if s.Rings() > 2 {
+		t.Fatalf("ring budget exceeded after FlushNow: %d rings", s.Rings())
+	}
+	if s.Compactions() == 0 {
+		t.Fatal("no background compactions ran")
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotIsolation pins an epoch, mutates the store heavily, and
+// verifies the pinned view still answers for its own triple set.
+func TestSnapshotIsolation(t *testing.T) {
+	s := New(Options{MemtableThreshold: 16, MaxRings: 2})
+	for i := 0; i < 50; i++ {
+		s.Add(graph.Triple{S: graph.ID(i), P: 0, O: graph.ID(i + 1)})
+	}
+	snap := s.Snapshot()
+	wantGraph := snap.Graph()
+	// Mutate: deletes, inserts, a full compaction.
+	for i := 0; i < 50; i += 2 {
+		s.Delete(graph.Triple{S: graph.ID(i), P: 0, O: graph.ID(i + 1)})
+	}
+	for i := 100; i < 180; i++ {
+		s.Add(graph.Triple{S: graph.ID(i), P: 1, O: graph.ID(i)})
+	}
+	s.Compact()
+
+	res, err := snap.Evaluate(graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Const(0), graph.Var("y")),
+	}, ltj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != wantGraph.Len() {
+		t.Fatalf("pinned snapshot sees %d edges, want %d", len(res.Solutions), wantGraph.Len())
+	}
+	if snap.Len() != wantGraph.Len() {
+		t.Fatalf("snapshot Len drifted: %d vs %d", snap.Len(), wantGraph.Len())
+	}
+}
+
+// TestConcurrentReadersOneWriter runs the contract the serving layer
+// depends on: one writer mutating (with background compaction) while
+// many readers evaluate. Every reader pins a snapshot and checks the
+// answer against that snapshot's own materialisation, so any torn state
+// shows up as a mismatch (and the race detector sees any unsynchronized
+// access).
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	s := New(Options{MemtableThreshold: 24, MaxRings: 2, Background: true})
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Snapshot()
+				p := graph.ID(rng.Intn(3))
+				res, err := snap.Evaluate(graph.Pattern{
+					graph.TP(graph.Var("x"), graph.Const(p), graph.Var("y")),
+				}, ltj.Options{})
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				want := 0
+				for _, tr := range snap.Triples() {
+					if tr.P == p {
+						want++
+					}
+				}
+				if len(res.Solutions) != want {
+					t.Errorf("reader: %d solutions for p=%d, snapshot holds %d", len(res.Solutions), p, want)
+					return
+				}
+			}
+		}(int64(100 + r))
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	inserted := make([]graph.Triple, 0, 2000)
+	deadline := time.Now().Add(2 * time.Second)
+	for i := 0; i < 2000 && time.Now().Before(deadline); i++ {
+		tr := graph.Triple{
+			S: graph.ID(rng.Intn(150)), P: graph.ID(rng.Intn(3)), O: graph.ID(rng.Intn(150)),
+		}
+		s.Add(tr)
+		inserted = append(inserted, tr)
+		if len(inserted) > 10 && rng.Intn(10) == 0 {
+			s.Delete(inserted[rng.Intn(len(inserted))]) // may be absent: fine
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s.FlushNow()
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackpressureReleases fills the memtable far beyond its threshold:
+// writers must block at the backpressure bound, then be released by the
+// compactor rather than deadlocking.
+func TestBackpressureReleases(t *testing.T) {
+	s := New(Options{MemtableThreshold: 8, MaxRings: 2, Background: true})
+	defer s.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			s.Add(graph.Triple{S: graph.ID(i), P: graph.ID(i % 3), O: graph.ID(i + 1)})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("writer deadlocked under backpressure")
+	}
+	s.FlushNow()
+	if got := s.Len(); got != 500 {
+		t.Fatalf("Len = %d, want 500", got)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// The manifest is the persistence root: a small text file naming the
+// dictionary snapshot, the static ring files, and the WAL floor (the
+// first segment recovery must replay). A checkpoint writes the new
+// version to a temp file, fsyncs it, and renames it over MANIFEST —
+// installation is the rename, so readers see either the old complete
+// state or the new one, never a blend. Everything below the manifest is
+// immutable once referenced; everything not referenced is garbage.
+
+const (
+	manifestName  = "MANIFEST"
+	manifestMagic = "RINGMANIFEST1"
+)
+
+// ringFileName renders the on-disk name of checkpointed ring id.
+func ringFileName(id uint64) string { return fmt.Sprintf("ring-%06d.ring", id) }
+
+// dictFileName renders the on-disk name of the dictionary snapshot for a
+// manifest version.
+func dictFileName(version uint64) string { return fmt.Sprintf("dict-%06d.dict", version) }
+
+// fileRef names one immutable snapshot file.
+type fileRef struct {
+	Name  string
+	Bytes int64
+}
+
+// ringRef names one checkpointed ring file and its logical size.
+type ringRef struct {
+	Name    string
+	Triples int
+	Bytes   int64
+}
+
+// manifest is the decoded persistence root.
+type manifest struct {
+	Version    uint64
+	Generation uint64 // store generation at checkpoint (diagnostic)
+	WALFloor   uint64 // first WAL segment to replay
+	NextRing   uint64 // next unused ring file id
+	NumSO      graph.ID
+	NumP       graph.ID
+	Triples    int
+	Dict       fileRef
+	Rings      []ringRef
+}
+
+// encode renders the manifest body, CRC trailer included.
+func (m *manifest) encode() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", manifestMagic)
+	fmt.Fprintf(&b, "version %d\n", m.Version)
+	fmt.Fprintf(&b, "generation %d\n", m.Generation)
+	fmt.Fprintf(&b, "walfloor %d\n", m.WALFloor)
+	fmt.Fprintf(&b, "nextring %d\n", m.NextRing)
+	fmt.Fprintf(&b, "domains %d %d\n", m.NumSO, m.NumP)
+	fmt.Fprintf(&b, "triples %d\n", m.Triples)
+	fmt.Fprintf(&b, "dict %s %d\n", m.Dict.Name, m.Dict.Bytes)
+	for _, r := range m.Rings {
+		fmt.Fprintf(&b, "ring %s %d %d\n", r.Name, r.Triples, r.Bytes)
+	}
+	body := b.String()
+	return []byte(fmt.Sprintf("%scrc %08x\n", body, crc32.Checksum([]byte(body), castagnoli)))
+}
+
+// install atomically publishes the manifest in dir: temp file, fsync,
+// rename over MANIFEST, fsync the directory so the rename is durable.
+func (m *manifest) install(dir string) error {
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(m.encode()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and unlinks inside it are
+// durable before dependents proceed.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readManifest loads and validates dir's MANIFEST. A missing file is
+// (nil, nil): a fresh data directory. Any structural fault or checksum
+// mismatch is an error — the manifest is written atomically, so a bad
+// one is corruption, not a crash artifact.
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return readManifestBytes(data)
+}
+
+// readManifestBytes decodes a manifest image; split from readManifest so
+// tests can feed corrupted bytes directly.
+func readManifestBytes(data []byte) (*manifest, error) {
+	text := string(data)
+	crcAt := strings.LastIndex(text, "crc ")
+	if crcAt < 0 || !strings.HasSuffix(text, "\n") {
+		return nil, fmt.Errorf("%w: manifest missing crc trailer", ErrCorrupt)
+	}
+	var wantCRC uint32
+	if _, err := fmt.Sscanf(text[crcAt:], "crc %08x\n", &wantCRC); err != nil {
+		return nil, fmt.Errorf("%w: manifest crc trailer: %v", ErrCorrupt, err)
+	}
+	body := text[:crcAt]
+	if crc32.Checksum([]byte(body), castagnoli) != wantCRC {
+		return nil, fmt.Errorf("%w: manifest checksum mismatch", ErrCorrupt)
+	}
+
+	m := &manifest{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() || sc.Text() != manifestMagic {
+		return nil, fmt.Errorf("%w: bad manifest magic", ErrCorrupt)
+	}
+	var numSO, numP uint64
+	seen := map[string]bool{}
+	for sc.Scan() {
+		line := sc.Text()
+		key, rest, _ := strings.Cut(line, " ")
+		var err error
+		switch key {
+		case "version":
+			_, err = fmt.Sscanf(rest, "%d", &m.Version)
+		case "generation":
+			_, err = fmt.Sscanf(rest, "%d", &m.Generation)
+		case "walfloor":
+			_, err = fmt.Sscanf(rest, "%d", &m.WALFloor)
+		case "nextring":
+			_, err = fmt.Sscanf(rest, "%d", &m.NextRing)
+		case "domains":
+			_, err = fmt.Sscanf(rest, "%d %d", &numSO, &numP)
+		case "triples":
+			_, err = fmt.Sscanf(rest, "%d", &m.Triples)
+		case "dict":
+			_, err = fmt.Sscanf(rest, "%s %d", &m.Dict.Name, &m.Dict.Bytes)
+		case "ring":
+			var r ringRef
+			if _, err = fmt.Sscanf(rest, "%s %d %d", &r.Name, &r.Triples, &r.Bytes); err == nil {
+				m.Rings = append(m.Rings, r)
+			}
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: manifest line %q: %v", ErrCorrupt, line, err)
+		}
+		seen[key] = true
+	}
+	for _, key := range []string{"version", "walfloor", "nextring", "domains", "triples", "dict"} {
+		if !seen[key] {
+			return nil, fmt.Errorf("%w: manifest missing %q", ErrCorrupt, key)
+		}
+	}
+	if m.Triples < 0 {
+		return nil, fmt.Errorf("%w: manifest triples %d", ErrCorrupt, m.Triples)
+	}
+	for _, r := range m.Rings {
+		if strings.ContainsAny(r.Name, "/\\") {
+			return nil, fmt.Errorf("%w: manifest file name %q escapes directory", ErrCorrupt, r.Name)
+		}
+	}
+	if strings.ContainsAny(m.Dict.Name, "/\\") {
+		return nil, fmt.Errorf("%w: manifest file name %q escapes directory", ErrCorrupt, m.Dict.Name)
+	}
+	if numSO > math.MaxUint32 || numP > math.MaxUint32 {
+		return nil, fmt.Errorf("%w: manifest domains %d/%d exceed the ID space", ErrCorrupt, numSO, numP)
+	}
+	m.NumSO = graph.ID(numSO)
+	m.NumP = graph.ID(numP)
+	return m, nil
+}

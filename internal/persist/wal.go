@@ -1,0 +1,624 @@
+// Package persist (ringwal) makes the dynamic store durable: a
+// length-prefixed, CRC32C-checksummed, fsync-batched write-ahead log
+// with group commit; checkpointed ring + dictionary snapshots behind an
+// atomically swapped versioned manifest; and crash recovery that replays
+// the log tail over the last snapshot. The paper's amortised-update
+// sketch (a small dynamic index plus a constant number of growing static
+// rings) thus survives process death: every acknowledged batch is on
+// disk before its writer unblocks, and recovery rebuilds exactly the
+// acknowledged state.
+//
+// # Durability argument
+//
+// A batch is acknowledged only after the fsync covering its record
+// returns. fsync flushes the whole file, so when any record is durable,
+// every earlier record of its segment is too. Hence, in the active
+// (last) segment, everything at or after the first invalid record was
+// never acknowledged — truncating there cannot lose acked data. Sealed
+// segments were fsynced at rotation, so an invalid record inside one is
+// real corruption and replay fails loudly rather than guessing.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OpKind distinguishes WAL operations.
+type OpKind uint8
+
+// The two operations a WAL record can carry.
+const (
+	OpInsert OpKind = 1
+	OpDelete OpKind = 2
+)
+
+// Op is one logged mutation over string constants. Logging strings (not
+// dictionary IDs) keeps replay self-contained: re-applying ops in order
+// re-creates dictionary terms in their original arrival order, so the
+// IDs inside checkpointed rings stay valid.
+type Op struct {
+	Kind    OpKind
+	S, P, O string
+}
+
+// Batch is one WAL record: the ops a single append call made durable and
+// visible atomically.
+type Batch struct {
+	Seq uint64
+	Ops []Op
+}
+
+// ErrCorrupt reports interior WAL corruption: an invalid record in a
+// sealed segment, or a checksum-valid record whose payload does not
+// parse. Unlike a torn tail this is not recoverable by truncation — the
+// damaged range was acknowledged as durable.
+var ErrCorrupt = errors.New("persist: WAL corrupt")
+
+// ErrClosed reports an append against a closed (or failed) WAL.
+var ErrClosed = errors.New("persist: WAL closed")
+
+const (
+	segMagic       = "RWALSEG1"
+	segHeaderBytes = 16 // magic + segment seq
+	recHeaderBytes = 8  // payload length + CRC32C
+	// maxRecordBytes bounds one record's payload; anything larger in a
+	// header is hostile or torn.
+	maxRecordBytes = 64 << 20
+	// groupMax bounds how many queued appends one fsync covers.
+	groupMax = 256
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// fsyncBuckets spans 50µs (tmpfs) to 2.5s (overloaded spinning disk).
+var fsyncBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// HistSnapshot is a point-in-time copy of a latency histogram, in the
+// cumulative-bucket form the metrics exposition wants.
+type HistSnapshot struct {
+	Bounds     []float64 // upper bounds in seconds, ascending
+	Counts     []uint64  // per-bucket (non-cumulative) counts, len = len(Bounds)+1
+	Count      uint64
+	SumSeconds float64
+}
+
+type latencyHist struct {
+	bounds   []float64
+	counts   []atomic.Uint64
+	count    atomic.Uint64
+	sumNanos atomic.Uint64
+}
+
+func newLatencyHist(bounds []float64) *latencyHist {
+	return &latencyHist{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(uint64(d))
+}
+
+func (h *latencyHist) snapshot() HistSnapshot {
+	out := HistSnapshot{
+		Bounds:     h.bounds,
+		Counts:     make([]uint64, len(h.counts)),
+		Count:      h.count.Load(),
+		SumSeconds: float64(h.sumNanos.Load()) / 1e9,
+	}
+	for i := range h.counts {
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// WALStats is a point-in-time snapshot of the log's counters.
+type WALStats struct {
+	AppendedBatches uint64
+	AppendedBytes   uint64
+	Fsyncs          uint64
+	FsyncSeconds    HistSnapshot
+	Segment         uint64 // active segment sequence number
+}
+
+// wal is the write-ahead log: a sequence of segment files, appended to
+// by a single commit goroutine that groups concurrent appends under one
+// fsync (group commit).
+type wal struct {
+	dir string
+
+	mu        sync.Mutex // guards closed + enqueue vs Close
+	closed    bool
+	reqCh     chan *walReq
+	wg        sync.WaitGroup
+	failed    atomic.Pointer[error] // first write/sync error; sticky
+	appended  atomic.Uint64
+	bytes     atomic.Uint64
+	fsyncs    atomic.Uint64
+	fsyncHist *latencyHist
+	segment   atomic.Uint64
+
+	// commit-goroutine state
+	f         *os.File
+	bw        *bufio.Writer
+	seq       uint64
+	nextBatch uint64
+}
+
+type walReq struct {
+	payload []byte // nil for a rotate request
+	done    chan error
+	rotated chan uint64 // rotate requests: receives the sealed segment's seq
+}
+
+// walPromise resolves when the enqueueing append's record is durable.
+type walPromise struct{ done chan error }
+
+func (p *walPromise) wait() error { return <-p.done }
+
+// segmentName renders the on-disk name of segment seq.
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016x.log", seq) }
+
+// segmentSeq parses a segment filename, reporting whether it is one.
+func segmentSeq(name string) (uint64, bool) {
+	var seq uint64
+	if n, err := fmt.Sscanf(name, "wal-%016x.log", &seq); n != 1 || err != nil {
+		return 0, false
+	}
+	if name != segmentName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the sequence numbers of every WAL segment in dir,
+// ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := segmentSeq(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// openWAL creates segment seq in dir and starts the commit goroutine.
+// nextBatch seeds the batch sequence (one past the last replayed batch).
+func openWAL(dir string, seq, nextBatch uint64) (*wal, error) {
+	w := &wal{
+		dir:       dir,
+		reqCh:     make(chan *walReq, groupMax),
+		fsyncHist: newLatencyHist(fsyncBuckets),
+		seq:       seq,
+		nextBatch: nextBatch,
+	}
+	if err := w.openSegment(seq); err != nil {
+		return nil, err
+	}
+	w.wg.Add(1)
+	go w.commitLoop()
+	return w, nil
+}
+
+// openSegment creates and syncs a fresh segment file (commit goroutine
+// or constructor only).
+func (w *wal) openSegment(seq uint64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [segHeaderBytes]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<20)
+	w.seq = seq
+	w.segment.Store(seq)
+	return nil
+}
+
+// enqueue submits a batch for commit and returns a promise that resolves
+// once the record is durable. The caller may apply the ops to the
+// in-memory store immediately: visibility may run ahead of durability,
+// but acknowledgement (the promise) never does.
+func (w *wal) enqueue(ops []Op) (*walPromise, error) {
+	if err := w.err(); err != nil {
+		return nil, err
+	}
+	payload := encodeOps(ops)
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, ErrClosed
+	}
+	req := &walReq{payload: payload, done: make(chan error, 1)}
+	w.reqCh <- req
+	w.mu.Unlock()
+	return &walPromise{done: req.done}, nil
+}
+
+// rotate seals the active segment (flush + fsync + close) and opens the
+// next one, returning the sealed segment's sequence number. Records
+// enqueued before rotate land in the sealed segment.
+func (w *wal) rotate() (uint64, error) {
+	if err := w.err(); err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrClosed
+	}
+	req := &walReq{done: make(chan error, 1), rotated: make(chan uint64, 1)}
+	w.reqCh <- req
+	w.mu.Unlock()
+	if err := <-req.done; err != nil {
+		return 0, err
+	}
+	return <-req.rotated, nil
+}
+
+// Close seals the log: pending appends are committed, the file is synced
+// and closed, and further appends fail with ErrClosed.
+func (w *wal) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	close(w.reqCh)
+	w.mu.Unlock()
+	w.wg.Wait()
+	return w.err()
+}
+
+func (w *wal) err() error {
+	if p := w.failed.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (w *wal) fail(err error) error {
+	wrapped := fmt.Errorf("persist: WAL segment %d: %w", w.seq, err)
+	w.failed.CompareAndSwap(nil, &wrapped)
+	return w.err()
+}
+
+func (w *wal) stats() WALStats {
+	return WALStats{
+		AppendedBatches: w.appended.Load(),
+		AppendedBytes:   w.bytes.Load(),
+		Fsyncs:          w.fsyncs.Load(),
+		FsyncSeconds:    w.fsyncHist.snapshot(),
+		Segment:         w.segment.Load(),
+	}
+}
+
+// commitLoop is the single committer: it drains queued requests, writes
+// their records, fsyncs once per group, and only then acknowledges —
+// group commit amortises the sync across concurrent writers.
+func (w *wal) commitLoop() {
+	defer w.wg.Done()
+	for {
+		req, ok := <-w.reqCh
+		if !ok {
+			w.finish()
+			return
+		}
+		group := []*walReq{req}
+	collect:
+		for len(group) < groupMax {
+			select {
+			case more, ok := <-w.reqCh:
+				if !ok {
+					break collect // channel closed; commit what we have
+				}
+				group = append(group, more)
+			default:
+				break collect
+			}
+		}
+		w.commitGroup(group)
+	}
+}
+
+func (w *wal) commitGroup(group []*walReq) {
+	pending := group[:0:0]
+	for _, req := range group {
+		if req.rotated != nil {
+			w.ackGroup(pending, w.syncAndRotate(req))
+			pending = pending[:0:0]
+			continue
+		}
+		if err := w.err(); err == nil {
+			if err2 := w.writeRecord(req.payload); err2 != nil {
+				w.fail(err2)
+			}
+		}
+		pending = append(pending, req)
+	}
+	if len(pending) > 0 {
+		err := w.err()
+		if err == nil {
+			err = w.sync()
+		}
+		w.ackGroup(pending, err)
+	}
+}
+
+// syncAndRotate seals the active segment and opens the next; the rotate
+// request's channels resolve once both halves are durable.
+func (w *wal) syncAndRotate(req *walReq) error {
+	err := w.err()
+	if err == nil {
+		err = w.sync()
+	}
+	if err == nil {
+		if err2 := w.f.Close(); err2 != nil {
+			err = w.fail(err2)
+		}
+	}
+	sealed := w.seq
+	if err == nil {
+		if err2 := w.openSegment(w.seq + 1); err2 != nil {
+			err = w.fail(err2)
+		}
+	}
+	req.done <- err
+	if err == nil {
+		req.rotated <- sealed
+	}
+	return err
+}
+
+func (w *wal) ackGroup(reqs []*walReq, err error) {
+	for _, r := range reqs {
+		r.done <- err
+	}
+}
+
+func (w *wal) writeRecord(payload []byte) error {
+	seq := w.nextBatch
+	w.nextBatch++
+	var seqBuf [8]byte
+	binary.LittleEndian.PutUint64(seqBuf[:], seq)
+	full := make([]byte, 0, 8+len(payload))
+	full = append(full, seqBuf[:]...)
+	full = append(full, payload...)
+
+	var hdr [recHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(full)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(full, castagnoli))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(full); err != nil {
+		return err
+	}
+	w.appended.Add(1)
+	w.bytes.Add(uint64(recHeaderBytes + len(full)))
+	return nil
+}
+
+func (w *wal) sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return w.fail(err)
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return w.fail(err)
+	}
+	w.fsyncs.Add(1)
+	w.fsyncHist.observe(time.Since(start))
+	return nil
+}
+
+func (w *wal) finish() {
+	if w.err() == nil {
+		w.sync()
+	}
+	w.f.Close()
+}
+
+// --- record encoding ---
+
+// encodeOps renders the op list in the record payload form (the batch
+// sequence number is prepended by the committer).
+func encodeOps(ops []Op) []byte {
+	size := 4
+	for _, op := range ops {
+		size += 1 + 12 + len(op.S) + len(op.P) + len(op.O)
+	}
+	buf := make([]byte, 0, size)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(ops)))
+	buf = append(buf, u32[:]...)
+	for _, op := range ops {
+		buf = append(buf, byte(op.Kind))
+		for _, s := range []string{op.S, op.P, op.O} {
+			binary.LittleEndian.PutUint32(u32[:], uint32(len(s)))
+			buf = append(buf, u32[:]...)
+			buf = append(buf, s...)
+		}
+	}
+	return buf
+}
+
+// readBatch decodes a record payload (batch seq + ops). The payload has
+// already passed its checksum, so any structural fault here is interior
+// corruption, not a torn write.
+func readBatch(payload []byte) (Batch, error) {
+	if len(payload) < 12 {
+		return Batch{}, fmt.Errorf("%w: record payload of %d bytes", ErrCorrupt, len(payload))
+	}
+	b := Batch{Seq: binary.LittleEndian.Uint64(payload)}
+	rest := payload[8:]
+	nops := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	// Each op is at least 13 bytes; an inflated count cannot hide.
+	if uint64(nops)*13 > uint64(len(rest)) {
+		return Batch{}, fmt.Errorf("%w: %d ops in %d payload bytes", ErrCorrupt, nops, len(rest))
+	}
+	b.Ops = make([]Op, 0, int(nops))
+	for i := uint32(0); i < nops; i++ {
+		if len(rest) < 1 {
+			return Batch{}, fmt.Errorf("%w: truncated op %d", ErrCorrupt, i)
+		}
+		op := Op{Kind: OpKind(rest[0])}
+		rest = rest[1:]
+		if op.Kind != OpInsert && op.Kind != OpDelete {
+			return Batch{}, fmt.Errorf("%w: unknown op kind %d", ErrCorrupt, op.Kind)
+		}
+		for j := 0; j < 3; j++ {
+			if len(rest) < 4 {
+				return Batch{}, fmt.Errorf("%w: truncated op %d", ErrCorrupt, i)
+			}
+			slen := binary.LittleEndian.Uint32(rest)
+			rest = rest[4:]
+			if uint64(slen) > uint64(len(rest)) {
+				return Batch{}, fmt.Errorf("%w: op %d term of %d bytes exceeds payload", ErrCorrupt, i, slen)
+			}
+			term := string(rest[:int(slen)])
+			rest = rest[int(slen):]
+			switch j {
+			case 0:
+				op.S = term
+			case 1:
+				op.P = term
+			default:
+				op.O = term
+			}
+		}
+		b.Ops = append(b.Ops, op)
+	}
+	if len(rest) != 0 {
+		return Batch{}, fmt.Errorf("%w: %d trailing bytes after ops", ErrCorrupt, len(rest))
+	}
+	return b, nil
+}
+
+// --- replay ---
+
+// replayResult describes one segment's replay.
+type replayResult struct {
+	Batches  int
+	Ops      int
+	LastSeq  uint64 // highest batch seq applied (0 if none)
+	ValidLen int64  // bytes of valid prefix; < file size iff a tail was torn
+	Torn     bool
+}
+
+// replaySegment reads segment seq from dir, calling apply for each valid
+// record in order. last marks the active (highest-numbered) segment: a
+// torn tail there is truncated away per the package durability argument,
+// while any fault in a sealed segment — or a checksum-valid record that
+// does not parse — returns ErrCorrupt. replaySegment never panics on
+// arbitrary bytes (FuzzWALReplay holds it to that).
+func replaySegment(dir string, seq uint64, last bool, apply func(Batch) error) (replayResult, error) {
+	path := filepath.Join(dir, segmentName(seq))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return replayResult{}, err
+	}
+	res, err := replayBytes(data, seq, last, apply)
+	if err != nil {
+		return res, fmt.Errorf("%s: %w", segmentName(seq), err)
+	}
+	if res.Torn {
+		// Truncate the torn tail so the surviving prefix is canonical.
+		if err := os.Truncate(path, res.ValidLen); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// replayBytes is the allocation-site-free core of replaySegment, split
+// out so fuzzing can drive it with raw bytes.
+func replayBytes(data []byte, seq uint64, last bool, apply func(Batch) error) (replayResult, error) {
+	res := replayResult{}
+	torn := func(at int64, why string) (replayResult, error) {
+		if !last {
+			return res, fmt.Errorf("%w: %s at offset %d in sealed segment", ErrCorrupt, why, at)
+		}
+		res.ValidLen = at
+		res.Torn = true
+		return res, nil
+	}
+	if len(data) < segHeaderBytes {
+		return torn(0, "short segment header")
+	}
+	if string(data[:8]) != segMagic {
+		return res, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	if got := binary.LittleEndian.Uint64(data[8:16]); got != seq {
+		return res, fmt.Errorf("%w: segment header claims seq %d, file named %d", ErrCorrupt, got, seq)
+	}
+	off := int64(segHeaderBytes)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			res.ValidLen = off
+			return res, nil
+		}
+		if len(rest) < recHeaderBytes {
+			return torn(off, "short record header")
+		}
+		rlen := binary.LittleEndian.Uint32(rest[:4])
+		wantCRC := binary.LittleEndian.Uint32(rest[4:8])
+		if rlen > maxRecordBytes {
+			return torn(off, "implausible record length")
+		}
+		if uint64(len(rest)-recHeaderBytes) < uint64(rlen) {
+			return torn(off, "record extends past end of segment")
+		}
+		payload := rest[recHeaderBytes : recHeaderBytes+int64(rlen)]
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			return torn(off, "checksum mismatch")
+		}
+		batch, err := readBatch(payload)
+		if err != nil {
+			// Checksum-valid but unparseable: corrupt even in the active
+			// segment — these bytes are what the committer wrote.
+			return res, err
+		}
+		if err := apply(batch); err != nil {
+			return res, err
+		}
+		res.Batches++
+		res.Ops += len(batch.Ops)
+		res.LastSeq = batch.Seq
+		off += recHeaderBytes + int64(rlen)
+	}
+}

@@ -105,13 +105,23 @@ type metrics struct {
 
 	queryDur *histogram
 
+	// Live-mode ingestion: mutation requests by op and outcome, applied
+	// triples, and end-to-end mutation latency (including the group
+	// commit wait for sync requests).
+	mutations       labeledCounter // op: insert | delete; outcome
+	mutationTriples counter
+	mutationDur     *histogram
+
 	ltjLeaps, ltjBinds, ltjSeeks, ltjEnums counter
 
 	indexTriples, indexSubjects, indexPredicates, indexObjects gauge
 }
 
 func newMetrics() *metrics {
-	return &metrics{queryDur: newHistogram(latencyBuckets)}
+	return &metrics{
+		queryDur:    newHistogram(latencyBuckets),
+		mutationDur: newHistogram(latencyBuckets),
+	}
 }
 
 func writeLabeled(w io.Writer, name, help string, lc *labeledCounter) {
@@ -159,6 +169,9 @@ func (m *metrics) writeProm(w io.Writer, cs cacheStats) {
 	writeGauge(w, "ringserve_admission_queue_depth", "Requests waiting for admission.", &m.queueDepth)
 	writeGauge(w, "ringserve_ready", "1 once the index is loaded and self-checked (0 while loading or draining).", &m.ready)
 	writeHistogram(w, "ringserve_query_duration_seconds", "End-to-end query handling latency.", m.queryDur)
+	writeLabeled(w, "ringserve_mutations_total", "Mutation requests by op and outcome (live mode).", &m.mutations)
+	writeCounter(w, "ringserve_mutation_triples_total", "Triples actually inserted or deleted (live mode).", m.mutationTriples.value())
+	writeHistogram(w, "ringserve_mutation_duration_seconds", "End-to-end mutation handling latency, including the durability wait.", m.mutationDur)
 	writeCounter(w, "ringserve_cache_hits_total", "Result-cache hits.", cs.Hits)
 	writeCounter(w, "ringserve_cache_misses_total", "Result-cache misses.", cs.Misses)
 	writeCounter(w, "ringserve_cache_evictions_total", "Result-cache LRU evictions.", cs.Evictions)

@@ -41,6 +41,7 @@ import (
 	wcoring "repro"
 	"repro/internal/graph"
 	"repro/internal/ltj"
+	"repro/internal/persist"
 	"repro/internal/query"
 	"repro/internal/ring"
 )
@@ -128,6 +129,7 @@ type Server struct {
 	weight int // admission weight of one query
 
 	store      atomic.Pointer[wcoring.Store]
+	live       atomic.Pointer[persist.DB] // set instead of store in live mode
 	indexStats atomic.Pointer[ring.Stats]
 	ready      atomic.Bool
 	draining   atomic.Bool
@@ -162,6 +164,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/metrics", s.accessLog("metrics", s.handleMetrics))
 	s.mux.HandleFunc("/stats", s.accessLog("stats", s.handleStats))
 	s.mux.HandleFunc("/cache/invalidate", s.accessLog("cache_invalidate", s.handleInvalidate))
+	s.mux.HandleFunc("/insert", s.accessLog("insert", s.handleInsert))
+	s.mux.HandleFunc("/delete", s.accessLog("delete", s.handleDelete))
 
 	if cfg.Store != nil {
 		if err := s.SetStore(cfg.Store); err != nil {
@@ -248,8 +252,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		cs = s.cache.stats()
 	}
+	if db := s.live.Load(); db != nil {
+		s.met.indexTriples.set(int64(db.Len()))
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.writeProm(w, cs)
+	if db := s.live.Load(); db != nil {
+		writePersistProm(w, db.Stats())
+	}
 }
 
 // statsResponse is the body of GET /stats: the index-wide statistics the
@@ -263,9 +273,26 @@ type statsResponse struct {
 	Ready              bool       `json:"ready"`
 	Draining           bool       `json:"draining"`
 	Cache              cacheStats `json:"cache"`
+	// Persist is present in live mode only: durability and ingestion
+	// state of the backing data directory.
+	Persist *persistStatsJSON `json:"persist,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if db := s.live.Load(); db != nil {
+		resp := statsResponse{
+			Triples:  db.Len(),
+			Ready:    s.ready.Load() && !s.draining.Load(),
+			Draining: s.draining.Load(),
+			Persist:  persistStats(db),
+		}
+		resp.IndexBytes = db.Snapshot().SizeBytes()
+		if s.cache != nil {
+			resp.Cache = s.cache.stats()
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	st := s.store.Load()
 	stats := s.indexStats.Load()
 	if st == nil || stats == nil {
@@ -301,7 +328,7 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	store := s.store.Load()
+	idx := s.index()
 	switch {
 	case s.draining.Load():
 		s.met.queries.get(`outcome="shed"`).inc()
@@ -309,7 +336,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		jsonError(w, http.StatusServiceUnavailable, "draining")
 		return
-	case store == nil || !s.ready.Load():
+	case idx == nil || !s.ready.Load():
 		s.met.queries.get(`outcome="shed"`).inc()
 		s.met.shed.get(`reason="not_ready"`).inc()
 		w.Header().Set("Retry-After", "1")
@@ -327,7 +354,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	limit := effectiveLimit(req.Limit, s.cfg.DefaultLimit, s.cfg.MaxLimit)
 	start := time.Now()
 
-	encoded, predVars, feasible, err := store.Compile(req.patternStrings())
+	encoded, predVars, feasible, err := idx.Compile(req.patternStrings())
 	if err != nil {
 		s.met.queries.get(`outcome="bad_request"`).inc()
 		jsonError(w, http.StatusBadRequest, err.Error())
@@ -356,6 +383,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Parallelism: s.cfg.Parallelism,
 	}
 	key, cacheable := sel.CacheKey()
+	// In live mode the key carries the store generation: a batch applied
+	// between two identical queries changes the prefix, so stale entries
+	// can never hit (they age out of the LRU instead).
+	key = idx.CachePrefix() + key
 	cacheable = cacheable && s.cache != nil && !req.NoCache
 	if cacheable {
 		if sols, ok := s.cache.get(key); ok {
@@ -395,10 +426,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var st ltj.EvalStats
 	sel.Stats = &st
 	sel.Context = r.Context()
-	rg := store.Ring()
-	sols, err := sel.Run(ltj.IndexFunc(func(tp graph.TriplePattern) ltj.PatternIter {
-		return rg.NewPatternState(tp)
-	}))
+	// One iterator source per evaluation: in live mode this pins an epoch
+	// snapshot, so a concurrent flush or merge cannot tear the view.
+	iters := idx.PatternIters()
+	sols, err := sel.Run(ltj.IndexFunc(iters))
 	elapsed := time.Since(start)
 	s.met.ltjLeaps.add(int64(st.Leaps))
 	s.met.ltjBinds.add(int64(st.Binds))
@@ -420,9 +451,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	decoded := make([]map[string]string, len(sols))
-	d := store.Dictionary()
 	for i, b := range sols {
-		decoded[i] = d.DecodeBinding(b, predVars)
+		decoded[i] = idx.DecodeBinding(b, predVars)
 	}
 	if cacheable && !timedOut {
 		s.cache.put(key, decoded)

@@ -2,10 +2,11 @@
 # CI gate: formatting, vet, the repo-specific ringlint analyzers, build,
 # shuffled tests, the ringdebug assertion lane, the full-module
 # race-detector lane (~4m on a single-CPU container), a
-# compile-and-smoke pass over every benchmark (one iteration each), and
-# the end-to-end ringserve smoke (query, overload shedding, SIGTERM
-# drain). Equivalent to `make check`; kept as a script for environments
-# without make.
+# compile-and-smoke pass over every benchmark (one iteration each), the
+# end-to-end ringserve smoke (query, overload shedding, SIGTERM drain),
+# and the live-update persistence smoke (insert, SIGKILL, WAL recovery,
+# checkpointed drain). Equivalent to `make check`; kept as a script for
+# environments without make.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -40,5 +41,8 @@ go test -run '^$' -bench . -benchtime 1x ./...
 
 echo "== serve smoke (end-to-end ringserve: query, shed, drain)"
 sh scripts/serve_smoke.sh
+
+echo "== persist smoke (live updates: insert, SIGKILL, recover, checkpoint)"
+sh scripts/persist_smoke.sh
 
 echo "all checks passed"

@@ -201,6 +201,13 @@ func (s *Store) Compile(q []PatternString) (encoded Pattern, predVars map[string
 // absent from the dictionary make the query provably empty; that is
 // reported via the bool result.
 func (s *Store) compile(q []PatternString) (Pattern, map[string]bool, bool, error) {
+	return CompilePatterns(s.dict, q)
+}
+
+// CompilePatterns is Compile against an explicit dictionary: the dynamic
+// persistence layer serves queries over a growing dictionary it owns and
+// locks, so the translation cannot be a method of the static Store alone.
+func CompilePatterns(d *Dictionary, q []PatternString) (Pattern, map[string]bool, bool, error) {
 	out := make(Pattern, 0, len(q))
 	predVars := map[string]bool{}
 	for i, ps := range q {
@@ -221,9 +228,9 @@ func (s *Store) compile(q []PatternString) (Pattern, map[string]bool, bool, erro
 			var id ID
 			var ok bool
 			if isPred {
-				id, ok = s.dict.EncodeP(raw)
+				id, ok = d.EncodeP(raw)
 			} else {
-				id, ok = s.dict.EncodeSO(raw)
+				id, ok = d.EncodeSO(raw)
 			}
 			if !ok {
 				return Term{}, false, nil // constant not in the data: empty query
