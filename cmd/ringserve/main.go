@@ -106,6 +106,7 @@ func main() {
 	var liveDB atomic.Pointer[persist.DB]
 	loadErr := make(chan error, 1)
 	if *dataDir != "" {
+		srv.ExpectLive() // mutations 503 (retryable), not 501, during recovery
 		go func() { loadErr <- openLive(srv, &liveDB, *dataDir, *memtable, *maxRings) }()
 	} else {
 		go func() { loadErr <- loadStore(srv, *index) }()

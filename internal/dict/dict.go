@@ -17,7 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/graph"
@@ -181,9 +183,16 @@ func ParseTSV(r io.Reader) ([]StringTriple, error) {
 
 // --- serialization ---
 
-const magicHdr = "RINGDICT\n"
+const magicHdr = "RINGDICT2\n"
+
+// maxTermBytes bounds a single term on load; a larger length prefix is
+// corruption (or hostile input), not a real term.
+const maxTermBytes = 1 << 24
 
 // WriteTo serializes the dictionary as a small text-framed format.
+// Terms are length-prefixed (`<len>:<bytes>\n`), not newline-delimited:
+// live mode admits arbitrary strings as terms, and a term containing
+// '\n' must not shift every later ID on reload.
 func (d *Dictionary) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
@@ -197,15 +206,25 @@ func (d *Dictionary) WriteTo(w io.Writer) (int64, error) {
 	if err := count(fmt.Fprintf(bw, "%d %d\n", len(d.so), len(d.p))); err != nil {
 		return n, err
 	}
-	for _, s := range d.so {
-		if err := count(fmt.Fprintf(bw, "%s\n", s)); err != nil {
-			return n, err
+	writeTerms := func(terms []string) error {
+		for _, s := range terms {
+			if err := count(fmt.Fprintf(bw, "%d:", len(s))); err != nil {
+				return err
+			}
+			if err := count(bw.WriteString(s)); err != nil {
+				return err
+			}
+			if err := count(bw.WriteString("\n")); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	for _, s := range d.p {
-		if err := count(fmt.Fprintf(bw, "%s\n", s)); err != nil {
-			return n, err
-		}
+	if err := writeTerms(d.so); err != nil {
+		return n, err
+	}
+	if err := writeTerms(d.p); err != nil {
+		return n, err
 	}
 	return n, bw.Flush()
 }
@@ -224,26 +243,43 @@ func Read(r io.Reader) (*Dictionary, error) {
 	if nSO < 0 || nP < 0 {
 		return nil, errors.New("dict: negative counts")
 	}
-	d := &Dictionary{
-		soIDs: make(map[string]graph.ID, nSO),
-		pIDs:  make(map[string]graph.ID, nP),
+	if uint64(nSO) > math.MaxUint32 || uint64(nP) > math.MaxUint32 {
+		return nil, errors.New("dict: counts exceed the ID space")
 	}
-	readLines := func(n int) ([]string, error) {
-		out := make([]string, n)
+	d := &Dictionary{
+		soIDs: make(map[string]graph.ID, min(nSO, 1<<16)),
+		pIDs:  make(map[string]graph.ID, min(nP, 1<<16)),
+	}
+	readTerms := func(n int) ([]string, error) {
+		// Grow by append rather than trusting the header count with one
+		// up-front allocation: truncated or hostile input errors out long
+		// before a fabricated count can force a huge slice.
+		out := make([]string, 0, min(n, 1<<16))
 		for i := 0; i < n; i++ {
-			line, err := br.ReadString('\n')
+			prefix, err := br.ReadString(':')
 			if err != nil {
 				return nil, fmt.Errorf("dict: truncated at entry %d: %w", i, err)
 			}
-			out[i] = strings.TrimSuffix(line, "\n")
+			tlen, err := strconv.Atoi(strings.TrimSuffix(prefix, ":"))
+			if err != nil || tlen < 0 || tlen > maxTermBytes {
+				return nil, fmt.Errorf("dict: entry %d: bad term length %q", i, strings.TrimSuffix(prefix, ":"))
+			}
+			term := make([]byte, tlen)
+			if _, err := io.ReadFull(br, term); err != nil {
+				return nil, fmt.Errorf("dict: truncated at entry %d: %w", i, err)
+			}
+			if b, err := br.ReadByte(); err != nil || b != '\n' {
+				return nil, fmt.Errorf("dict: entry %d: missing terminator", i)
+			}
+			out = append(out, string(term))
 		}
 		return out, nil
 	}
 	var err error
-	if d.so, err = readLines(nSO); err != nil {
+	if d.so, err = readTerms(nSO); err != nil {
 		return nil, err
 	}
-	if d.p, err = readLines(nP); err != nil {
+	if d.p, err = readTerms(nP); err != nil {
 		return nil, err
 	}
 	for i, s := range d.so {

@@ -118,6 +118,40 @@ func TestSerializationRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSerializationHostileTerms holds the length-prefixed framing to
+// its contract: terms are arbitrary byte strings (live mode lets any
+// JSON string become one), so embedded newlines, colons, or binary
+// bytes must survive a round-trip without shifting later IDs.
+func TestSerializationHostileTerms(t *testing.T) {
+	terms := []string{"plain", "with\nnewline", "with:colon", "12:34\n56", "\x00\xff binary", ""}
+	d, _ := Build(nil)
+	for _, s := range terms[:len(terms)-1] { // AddSO of "" is valid too, but Build-style use never sees it
+		d.AddSO(s)
+	}
+	d.AddP("p\nq")
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSO() != d.NumSO() || got.NumP() != d.NumP() {
+		t.Fatalf("sizes differ after round-trip: so %d/%d p %d/%d",
+			got.NumSO(), d.NumSO(), got.NumP(), d.NumP())
+	}
+	for _, s := range terms[:len(terms)-1] {
+		want, _ := d.EncodeSO(s)
+		if id, ok := got.EncodeSO(s); !ok || id != want {
+			t.Errorf("EncodeSO(%q) = %d,%v after round-trip, want %d", s, id, ok, want)
+		}
+	}
+	if id, ok := got.EncodeP("p\nq"); !ok || id != 0 {
+		t.Errorf("EncodeP(%q) = %d,%v after round-trip, want 0", "p\nq", id, ok)
+	}
+}
+
 func TestSerializationCorrupt(t *testing.T) {
 	d, _ := Build(sample)
 	var buf bytes.Buffer
@@ -132,6 +166,10 @@ func TestSerializationCorrupt(t *testing.T) {
 	bad[0] = 'X'
 	if _, err := Read(bytes.NewReader(bad)); err == nil {
 		t.Error("accepted bad magic")
+	}
+	huge := []byte(magicHdr + "1 0\n99999999999999999999:x\n")
+	if _, err := Read(bytes.NewReader(huge)); err == nil {
+		t.Error("accepted oversized term length")
 	}
 }
 

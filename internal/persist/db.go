@@ -210,7 +210,13 @@ func (db *DB) recover() (nextSeg, nextBatch uint64, err error) {
 		if res.Torn {
 			db.tornTail.Store(true)
 		}
-		nextSeg = seq + 1
+		if res.Removed {
+			// The active segment's header was torn and the file deleted;
+			// reuse its number so the on-disk sequence stays gapless.
+			nextSeg = seq
+		} else {
+			nextSeg = seq + 1
+		}
 	}
 	return nextSeg, nextBatch, nil
 }

@@ -2,11 +2,13 @@ package persist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	wcoring "repro"
@@ -226,6 +228,79 @@ func TestTornTailTruncated(t *testing.T) {
 	defer db3.Close()
 	if got := db3.Len(); got != 9 {
 		t.Fatalf("second recovery Len = %d, want 9", got)
+	}
+}
+
+// TestTornHeaderSegmentRemoved: a crash between segment create and the
+// header fsync leaves the active segment shorter than its 16-byte
+// header. Recovery must delete the runt and reuse its sequence number
+// rather than truncate it: a truncated runt, once sealed under a newer
+// segment by a second crash, would read as interior corruption forever.
+func TestTornHeaderSegmentRemoved(t *testing.T) {
+	dir := t.TempDir()
+	db := openTest(t, dir, false)
+	db.InsertBatch([]dict.StringTriple{tr("a", "p", "b")}, true)
+	// Close checkpoints, which rotates: the active segment is header-only.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("listSegments: %v (%d segments)", err, len(segs))
+	}
+	active := segs[len(segs)-1]
+	// Tear the header: crash before the 16 header bytes became durable.
+	if err := os.Truncate(filepath.Join(dir, segmentName(active)), 7); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openTest(t, dir, false)
+	if got := db2.Len(); got != 1 {
+		t.Fatalf("recovered Len = %d, want 1", got)
+	}
+	if !db2.Stats().RecoveryTorn {
+		t.Fatal("recovery did not report the torn header")
+	}
+	if got := db2.wal.segment.Load(); got != active {
+		t.Fatalf("active segment = %d, want %d (runt's number reused)", got, active)
+	}
+	db2.InsertBatch([]dict.StringTriple{tr("c", "p", "d")}, true)
+	// Crash again without Close: the second recovery must see a gapless
+	// segment sequence (no runt left behind) and replay cleanly.
+	db2.wal.Close()
+	db2.store.Close()
+
+	db3 := openTest(t, dir, false)
+	defer db3.Close()
+	if got := db3.Len(); got != 2 {
+		t.Fatalf("second recovery Len = %d, want 2", got)
+	}
+}
+
+// TestBatchTooLarge: a batch whose encoded record would exceed the
+// replay size bound is rejected before it is written or applied —
+// otherwise it would be acked as durable yet read back on recovery as
+// a torn write and silently dropped.
+func TestBatchTooLarge(t *testing.T) {
+	dir := t.TempDir()
+	db := openTest(t, dir, false)
+	huge := strings.Repeat("x", maxRecordBytes)
+	if _, err := db.InsertBatch([]dict.StringTriple{tr(huge, "p", "o")}, true); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized InsertBatch err = %v, want ErrTooLarge", err)
+	}
+	if got := db.Len(); got != 0 {
+		t.Fatalf("rejected batch was applied: Len = %d", got)
+	}
+	if _, err := db.InsertBatch([]dict.StringTriple{tr("a", "p", "b")}, true); err != nil {
+		t.Fatalf("insert after rejection: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openTest(t, dir, false)
+	defer db2.Close()
+	if got := db2.Len(); got != 1 {
+		t.Fatalf("reopened Len = %d, want 1", got)
 	}
 }
 

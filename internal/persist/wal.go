@@ -67,6 +67,12 @@ var ErrCorrupt = errors.New("persist: WAL corrupt")
 // ErrClosed reports an append against a closed (or failed) WAL.
 var ErrClosed = errors.New("persist: WAL closed")
 
+// ErrTooLarge reports a batch whose encoded record would exceed the
+// size bound replay enforces. Rejecting it before it is written (and
+// before it is acked) keeps the recovery invariant: a record header
+// above the bound is always a torn write, never acknowledged data.
+var ErrTooLarge = errors.New("persist: batch exceeds the WAL record size bound")
+
 const (
 	segMagic       = "RWALSEG1"
 	segHeaderBytes = 16 // magic + segment seq
@@ -255,6 +261,11 @@ func (w *wal) enqueue(ops []Op) (*walPromise, error) {
 		return nil, err
 	}
 	payload := encodeOps(ops)
+	// The committer prepends an 8-byte batch sequence; the full record
+	// must stay under the bound replay treats as "implausible, torn".
+	if len(payload)+8 > maxRecordBytes {
+		return nil, fmt.Errorf("%w (%d bytes encoded, max %d)", ErrTooLarge, len(payload)+8, maxRecordBytes)
+	}
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -537,6 +548,10 @@ type replayResult struct {
 	LastSeq  uint64 // highest batch seq applied (0 if none)
 	ValidLen int64  // bytes of valid prefix; < file size iff a tail was torn
 	Torn     bool
+	// Removed marks an active segment deleted outright: the crash tore
+	// its 16-byte header, so the file never held a record and its
+	// sequence number may be reused.
+	Removed bool
 }
 
 // replaySegment reads segment seq from dir, calling apply for each valid
@@ -555,9 +570,38 @@ func replaySegment(dir string, seq uint64, last bool, apply func(Batch) error) (
 	if err != nil {
 		return res, fmt.Errorf("%s: %w", segmentName(seq), err)
 	}
-	if res.Torn {
-		// Truncate the torn tail so the surviving prefix is canonical.
-		if err := os.Truncate(path, res.ValidLen); err != nil {
+	switch {
+	case res.Torn && res.ValidLen < segHeaderBytes:
+		// The crash tore the segment header itself: no record was ever
+		// written here. Truncating would leave a runt file that reads as
+		// corrupt once a newer segment seals it, so delete it; the caller
+		// reuses its sequence number.
+		if err := os.Remove(path); err != nil {
+			return res, err
+		}
+		res.Removed = true
+		if err := syncDir(dir); err != nil {
+			return res, err
+		}
+	case res.Torn:
+		// Truncate the torn tail so the surviving prefix is canonical, and
+		// sync it: if the truncation itself is not durable, a crash after
+		// this segment is sealed resurrects the torn bytes as ErrCorrupt.
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			return res, err
+		}
+		err = f.Truncate(res.ValidLen)
+		if err == nil {
+			err = f.Sync()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return res, err
+		}
+		if err := syncDir(dir); err != nil {
 			return res, err
 		}
 	}

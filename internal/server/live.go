@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -78,6 +79,12 @@ func (x liveIndex) CachePrefix() string {
 	return "g" + strconv.FormatUint(x.db.Generation(), 10) + "|"
 }
 
+// ExpectLive declares that this server will serve a live index that is
+// still being recovered (the -data-dir boot path calls it before Open).
+// Until SetLive installs the DB, mutations answer a retryable 503
+// rather than the permanent-sounding read-only 501.
+func (s *Server) ExpectLive() { s.liveWanted.Store(true) }
+
 // SetLive installs an opened persist.DB as the live index: it runs an
 // end-to-end probe query as a self-check, marks the server ready, and
 // publishes the index gauges. The DB must already be recovered (Open
@@ -87,6 +94,7 @@ func (s *Server) SetLive(db *persist.DB) error {
 	if _, err := db.Snapshot().Evaluate(probe, ltj.Options{Limit: 1, Timeout: 30 * time.Second}); err != nil {
 		return fmt.Errorf("server: live self-check query failed: %w", err)
 	}
+	s.liveWanted.Store(true)
 	s.live.Store(db)
 	s.met.indexTriples.set(int64(db.Len()))
 	s.ready.Store(true)
@@ -174,6 +182,14 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request, op strin
 	}
 	db := s.live.Load()
 	if db == nil {
+		if s.liveWanted.Load() {
+			// Live mode is coming; recovery just has not finished. Mirror
+			// the not-ready query path: transient, retryable.
+			s.met.mutations.get(outcome("not_ready")).inc()
+			w.Header().Set("Retry-After", "1")
+			jsonError(w, http.StatusServiceUnavailable, "live index recovering")
+			return
+		}
 		s.met.mutations.get(outcome("read_only")).inc()
 		jsonError(w, http.StatusNotImplemented, "server is read-only: start with -data-dir for live updates")
 		return
@@ -214,6 +230,11 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request, op strin
 	}
 	s.met.mutationDur.observe(time.Since(start))
 	if err != nil {
+		if errors.Is(err, persist.ErrTooLarge) {
+			s.met.mutations.get(outcome("bad_request")).inc()
+			jsonError(w, http.StatusBadRequest, err.Error())
+			return
+		}
 		s.met.mutations.get(outcome("error")).inc()
 		jsonError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -247,8 +268,19 @@ func validateMutation(req *MutationRequest) error {
 		if strings.HasPrefix(t.S, "?") || strings.HasPrefix(t.P, "?") || strings.HasPrefix(t.O, "?") {
 			return fmt.Errorf("triple %d has a variable component; mutations take constants only", i)
 		}
+		if hasControlChar(t.S) || hasControlChar(t.P) || hasControlChar(t.O) {
+			return fmt.Errorf("triple %d has a control character in a component", i)
+		}
 	}
 	return nil
+}
+
+// hasControlChar reports whether a term contains a control character.
+// The persistence formats are length-prefixed and store such terms
+// safely; rejecting them at the API edge is hygiene — they are never
+// meaningful graph constants and they mangle logs and TSV exports.
+func hasControlChar(s string) bool {
+	return strings.ContainsFunc(s, func(r rune) bool { return r < 0x20 || r == 0x7f })
 }
 
 // --- persistence metrics ---

@@ -127,6 +127,8 @@ func TestLiveMutationValidation(t *testing.T) {
 		{},
 		{Triples: []TripleJSON{{S: "", P: "p", O: "o"}}},
 		{Triples: []TripleJSON{{S: "?x", P: "p", O: "o"}}},
+		{Triples: []TripleJSON{{S: "a\nb", P: "p", O: "o"}}},
+		{Triples: []TripleJSON{{S: "a", P: "p", O: "o\x00"}}},
 	}
 	for i, req := range cases {
 		if _, code := postMutation(t, ts, "/insert", req); code != http.StatusBadRequest {
@@ -150,6 +152,48 @@ func TestStaticServerRefusesMutations(t *testing.T) {
 		Triples: triples([3]string{"a", "p", "b"}),
 	}); code != http.StatusNotImplemented {
 		t.Fatalf("static /insert: status %d, want 501", code)
+	}
+}
+
+// TestLiveMutationsDuringRecovery: a live-mode server whose data dir is
+// still recovering answers mutations with a retryable 503 (plus
+// Retry-After), not the read-only 501 — the state is transient.
+func TestLiveMutationsDuringRecovery(t *testing.T) {
+	srv, err := New(Config{AccessLog: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ExpectLive() // -data-dir boot path: recovery has not finished
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(MutationRequest{Triples: triples([3]string{"a", "p", "b"})})
+	resp, err := http.Post(ts.URL+"/insert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/insert during recovery: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("/insert during recovery: missing Retry-After")
+	}
+
+	// Once the DB is installed, the same request succeeds.
+	db, err := persist.Open(t.TempDir(), persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := srv.SetLive(db); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := postMutation(t, ts, "/insert", MutationRequest{
+		Triples: triples([3]string{"a", "p", "b"}),
+	}); code != http.StatusOK {
+		t.Fatalf("/insert after SetLive: status %d, want 200", code)
 	}
 }
 

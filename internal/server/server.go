@@ -130,6 +130,7 @@ type Server struct {
 
 	store      atomic.Pointer[wcoring.Store]
 	live       atomic.Pointer[persist.DB] // set instead of store in live mode
+	liveWanted atomic.Bool                // live mode intended; recovery may still be running
 	indexStats atomic.Pointer[ring.Stats]
 	ready      atomic.Bool
 	draining   atomic.Bool
