@@ -17,22 +17,29 @@
 #   make bench-substrate  the rank/select substrate microbenchmarks
 #                         (bits, bitvector, wavelet, ring Leap/Bind);
 #                         benchstat-friendly: set BENCH_COUNT>=10 to compare
-#   make bench-serve      the ringserve load-generator sweep (1/4/16
-#                         clients x cache on/off), writing BENCH_serve.json
+#   make bench-serve      the ringserve load-generator sweep (GOMAXPROCS
+#                         1/4 x 1/4/16 clients x cache on/off), writing
+#                         BENCH_serve.json
+#   make bench-mmap-load  cold-start load comparison, decode vs mmap
+#                         (wall + peak RSS, fresh process per run),
+#                         writing BENCH_mmap_load.json
 #   make serve-smoke      end-to-end ringserve smoke: build, index, serve,
 #                         query, overload shedding, SIGTERM drain
 #   make persist-smoke    end-to-end live-update smoke: insert over HTTP,
 #                         SIGKILL, recover from the WAL, drain with a
 #                         final checkpoint, inspect with ringstats
+#   make mmap-smoke       end-to-end zero-copy smoke: ringstats layout,
+#                         decode-vs-mmap differential serving across a
+#                         restart, live mode with view-loaded checkpoints
 #   make check  fmt + vet + lint + build + test + test-debug + race +
-#               bench-smoke + serve-smoke + persist-smoke
+#               bench-smoke + serve-smoke + persist-smoke + mmap-smoke
 
 GO ?= go
 BENCH_COUNT ?= 1
 
-.PHONY: check fmt vet lint build test test-debug race bench bench-smoke bench-substrate bench-serve serve-smoke persist-smoke
+.PHONY: check fmt vet lint build test test-debug race bench bench-smoke bench-substrate bench-serve bench-mmap-load serve-smoke persist-smoke mmap-smoke
 
-check: fmt vet lint build test test-debug race bench-smoke serve-smoke persist-smoke
+check: fmt vet lint build test test-debug race bench-smoke serve-smoke persist-smoke mmap-smoke
 
 fmt:
 	@unformatted=$$(gofmt -s -l .); \
@@ -72,8 +79,14 @@ bench-serve:
 	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json \
 		$(GO) test -run '^$$' -bench BenchmarkServe -benchtime 2s ./internal/server
 
+bench-mmap-load:
+	$(GO) run ./cmd/benchload -json $(CURDIR)/BENCH_mmap_load.json
+
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
 persist-smoke:
 	sh scripts/persist_smoke.sh
+
+mmap-smoke:
+	sh scripts/mmap_smoke.sh

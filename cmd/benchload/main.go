@@ -1,0 +1,308 @@
+// Command benchload measures cold-start index load: full decode
+// (ReadStore) against zero-copy mmap (mman.Map + ViewStore). Peak RSS
+// (VmHWM) is a per-process high-water mark, so the driver re-executes
+// itself once per run; each child loads the index, runs a probe query,
+// and prints one JSON row on stdout with wall times and RSS read from
+// /proc/self/status. The driver aggregates the rows (best wall of
+// -runs, RSS from that run) into BENCH_mmap_load.json.
+//
+// Usage:
+//
+//	benchload [-triples 500000] [-index existing.ring] [-runs 3] [-json BENCH_mmap_load.json]
+//	benchload -child -mode decode|mmap -index file     (internal)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	wcoring "repro"
+	"repro/internal/mman"
+)
+
+type loadRow struct {
+	Mode         string  `json:"mode"`
+	LoadSeconds  float64 `json:"load_seconds"`
+	ProbeSeconds float64 `json:"probe_seconds"`
+	PeakRSSKB    int64   `json:"peak_rss_kb"`
+	RSSKB        int64   `json:"rss_kb"`
+	Triples      int     `json:"triples"`
+	Solutions    int     `json:"probe_solutions"`
+	Mapped       bool    `json:"mapped"`
+}
+
+type summary struct {
+	Mode         string    `json:"mode"`
+	LoadSeconds  float64   `json:"load_seconds"`
+	ProbeSeconds float64   `json:"probe_seconds"`
+	PeakRSSKB    int64     `json:"peak_rss_kb"`
+	RSSKB        int64     `json:"rss_kb"`
+	AllLoads     []float64 `json:"load_seconds_all"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchload: ")
+
+	child := flag.Bool("child", false, "internal: run one measured load in this process")
+	mode := flag.String("mode", "", "internal: decode or mmap")
+	index := flag.String("index", "", "index file to load (default: generate a synthetic one)")
+	triples := flag.Int("triples", 500000, "synthetic graph size when generating")
+	runs := flag.Int("runs", 3, "processes per mode; best wall time wins")
+	jsonOut := flag.String("json", "BENCH_mmap_load.json", "output file ('' = stdout only)")
+	flag.Parse()
+
+	if *child {
+		row, err := runChild(*mode, *index)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(row); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	driver(*index, *triples, *runs, *jsonOut)
+}
+
+// runChild performs one measured load in a fresh process.
+func runChild(mode, index string) (*loadRow, error) {
+	row := &loadRow{Mode: mode}
+	start := time.Now()
+	var store *wcoring.Store
+	var reg *mman.Region
+	defer func() {
+		if reg != nil {
+			reg.Release() // after the last query; the store aliases the mapping
+		}
+	}()
+	switch mode {
+	case "decode":
+		f, err := os.Open(index)
+		if err != nil {
+			return nil, err
+		}
+		store, err = wcoring.ReadStore(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	case "mmap":
+		var err error
+		reg, err = mman.Map(index)
+		if err != nil {
+			return nil, err
+		}
+		store, err = wcoring.ViewStore(reg.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		row.Mapped = reg.Mapped()
+	default:
+		return nil, fmt.Errorf("unknown -mode %q", mode)
+	}
+	row.LoadSeconds = time.Since(start).Seconds()
+	row.Triples = store.Len()
+
+	// A selective probe: the interactive first query a cold server
+	// answers. Under mmap this is where page faults land, so it is part
+	// of the honest cost of the lazy path.
+	probeStart := time.Now()
+	sols, err := store.Query([]wcoring.PatternString{
+		{S: "?x", P: "p0", O: "?y"},
+		{S: "?y", P: "p1", O: "?z"},
+	}, wcoring.QueryOptions{Limit: 1000})
+	if err != nil {
+		return nil, err
+	}
+	row.ProbeSeconds = time.Since(probeStart).Seconds()
+	row.Solutions = len(sols)
+
+	row.PeakRSSKB, row.RSSKB = readRSS()
+	return row, nil
+}
+
+// readRSS returns (VmHWM, VmRSS) in KB from /proc/self/status, or zeros
+// where the platform has no procfs.
+func readRSS() (peak, cur int64) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		var dst *int64
+		switch {
+		case strings.HasPrefix(line, "VmHWM:"):
+			dst = &peak
+		case strings.HasPrefix(line, "VmRSS:"):
+			dst = &cur
+		default:
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			*dst, _ = strconv.ParseInt(fields[1], 10, 64)
+		}
+	}
+	return peak, cur
+}
+
+// driver builds (or reuses) an index, forks one child per run per mode,
+// and writes the aggregated comparison.
+func driver(index string, triples, runs int, jsonOut string) {
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	generated := false
+	if index == "" {
+		dir, err := os.MkdirTemp("", "benchload")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		index = filepath.Join(dir, "bench.ring")
+		log.Printf("building a %d-triple synthetic index ...", triples)
+		if err := buildIndex(index, triples); err != nil {
+			log.Fatal(err)
+		}
+		generated = true
+	}
+	info, err := os.Stat(index)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var sums []summary
+	var storeTriples int
+	for _, mode := range []string{"decode", "mmap"} {
+		var best *loadRow
+		var all []float64
+		for i := 0; i < runs; i++ {
+			out, err := exec.Command(self, "-child", "-mode", mode, "-index", index).Output()
+			if err != nil {
+				if ee, ok := err.(*exec.ExitError); ok {
+					log.Fatalf("%s child: %v\n%s", mode, err, ee.Stderr)
+				}
+				log.Fatalf("%s child: %v", mode, err)
+			}
+			var row loadRow
+			if err := json.Unmarshal(out, &row); err != nil {
+				log.Fatalf("%s child output: %v", mode, err)
+			}
+			all = append(all, round6(row.LoadSeconds))
+			if best == nil || row.LoadSeconds < best.LoadSeconds {
+				best = &row
+			}
+		}
+		storeTriples = best.Triples
+		sums = append(sums, summary{
+			Mode:         best.Mode,
+			LoadSeconds:  round6(best.LoadSeconds),
+			ProbeSeconds: round6(best.ProbeSeconds),
+			PeakRSSKB:    best.PeakRSSKB,
+			RSSKB:        best.RSSKB,
+			AllLoads:     all,
+		})
+		log.Printf("%-6s  load %8.3fms  probe %8.3fms  peak RSS %7d KB  RSS %7d KB",
+			mode, best.LoadSeconds*1e3, best.ProbeSeconds*1e3, best.PeakRSSKB, best.RSSKB)
+	}
+
+	speedup := 0.0
+	if sums[1].LoadSeconds > 0 {
+		speedup = round3(sums[0].LoadSeconds / sums[1].LoadSeconds)
+	}
+	rssRatio := 0.0
+	if sums[1].PeakRSSKB > 0 {
+		rssRatio = round3(float64(sums[0].PeakRSSKB) / float64(sums[1].PeakRSSKB))
+	}
+	log.Printf("mmap is %.1fx faster to first query-ready; peak RSS ratio %.2fx", speedup, rssRatio)
+
+	workload := "existing index " + index
+	if generated {
+		workload = fmt.Sprintf("synthetic random graph, %d triples", triples)
+	}
+	out := struct {
+		Workload    string    `json:"workload"`
+		Triples     int       `json:"triples"`
+		IndexBytes  int64     `json:"index_bytes"`
+		Runs        int       `json:"runs_per_mode"`
+		Note        string    `json:"note"`
+		Results     []summary `json:"results"`
+		SpeedupWall float64   `json:"mmap_load_speedup"`
+		PeakRSSX    float64   `json:"decode_over_mmap_peak_rss"`
+	}{
+		Workload:    workload,
+		Triples:     storeTriples,
+		IndexBytes:  info.Size(),
+		Runs:        runs,
+		Note:        "each row is a fresh process (best wall of runs_per_mode); probe = first selective 2-pattern join, where mmap takes its page faults",
+		Results:     sums,
+		SpeedupWall: speedup,
+		PeakRSSX:    rssRatio,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if jsonOut != "" {
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", jsonOut)
+	} else {
+		os.Stdout.Write(data)
+	}
+}
+
+// buildIndex writes a synthetic index with the shape the serve
+// benchmarks use: a sparse random graph over a fixed node set with a
+// skewless predicate spread, so p0/p1 probes stay selective.
+func buildIndex(path string, n int) error {
+	rng := rand.New(rand.NewSource(42))
+	nodes := n / 5
+	if nodes < 16 {
+		nodes = 16
+	}
+	trs := make([]wcoring.StringTriple, n)
+	for i := range trs {
+		trs[i] = wcoring.StringTriple{
+			S: "n" + strconv.Itoa(rng.Intn(nodes)),
+			P: "p" + strconv.Itoa(rng.Intn(8)),
+			O: "n" + strconv.Itoa(rng.Intn(nodes)),
+		}
+	}
+	store, err := wcoring.NewStore(trs, wcoring.Options{})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := store.WriteTo(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func round3(f float64) float64 { return float64(int64(f*1e3+0.5)) / 1e3 }
+
+func round6(f float64) float64 { return float64(int64(f*1e6+0.5)) / 1e6 }

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	wcoring "repro"
+	"repro/internal/mman"
 	"repro/internal/persist"
 	"repro/internal/server"
 )
@@ -59,6 +60,7 @@ func main() {
 
 	index := flag.String("index", "", "index file built by ringbuild (read-only mode)")
 	dataDir := flag.String("data-dir", "", "data directory for live updates (WAL + snapshots)")
+	useMmap := flag.Bool("mmap", false, "memory-map immutable index files instead of decoding them into the heap")
 	memtable := flag.Int("memtable", 0, "live mode: memtable flush threshold in triples (0 = default)")
 	maxRings := flag.Int("max-rings", 0, "live mode: static-ring budget before merging (0 = default)")
 	addr := flag.String("addr", ":8080", "listen address")
@@ -107,9 +109,9 @@ func main() {
 	loadErr := make(chan error, 1)
 	if *dataDir != "" {
 		srv.ExpectLive() // mutations 503 (retryable), not 501, during recovery
-		go func() { loadErr <- openLive(srv, &liveDB, *dataDir, *memtable, *maxRings) }()
+		go func() { loadErr <- openLive(srv, &liveDB, *dataDir, *memtable, *maxRings, *useMmap) }()
 	} else {
-		go func() { loadErr <- loadStore(srv, *index) }()
+		go func() { loadErr <- loadStore(srv, *index, *useMmap) }()
 	}
 
 	httpSrv := &http.Server{
@@ -164,11 +166,12 @@ func main() {
 // openLive recovers the data directory (manifest snapshot + WAL replay)
 // and installs the live DB; /readyz flips only after recovery and the
 // self-check probe pass.
-func openLive(srv *server.Server, slot *atomic.Pointer[persist.DB], dir string, memtable, maxRings int) error {
+func openLive(srv *server.Server, slot *atomic.Pointer[persist.DB], dir string, memtable, maxRings int, useMmap bool) error {
 	start := time.Now()
 	db, err := persist.Open(dir, persist.Options{
 		MemtableThreshold: memtable,
 		MaxRings:          maxRings,
+		Mmap:              useMmap,
 	})
 	if err != nil {
 		return fmt.Errorf("opening %s: %w", dir, err)
@@ -179,9 +182,22 @@ func openLive(srv *server.Server, slot *atomic.Pointer[persist.DB], dir string, 
 	}
 	slot.Store(db)
 	st := db.Stats()
-	log.Printf("recovered %s: %d triples (replayed %d WAL batches, torn tail: %v) in %v",
-		dir, st.Triples, st.RecoveryBatches, st.RecoveryTorn, time.Since(start).Round(time.Millisecond))
+	srv.SetLoadInfo(server.LoadInfo{
+		Mode:        loadMode(useMmap),
+		BytesMapped: st.MappedBytes,
+		Regions:     st.MappedRings,
+		Seconds:     time.Since(start).Seconds(),
+	})
+	log.Printf("recovered %s: %d triples (replayed %d WAL batches, torn tail: %v, mode %s) in %v",
+		dir, st.Triples, st.RecoveryBatches, st.RecoveryTorn, loadMode(useMmap), time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+func loadMode(useMmap bool) string {
+	if useMmap {
+		return "mmap"
+	}
+	return "decode"
 }
 
 // closeLive checkpoints and seals the live DB, if one was opened. Runs
@@ -200,22 +216,52 @@ func closeLive(slot *atomic.Pointer[persist.DB]) {
 	log.Printf("data dir checkpointed and sealed in %v", time.Since(start).Round(time.Millisecond))
 }
 
-// loadStore reads the index file and installs it into the server (which
-// self-checks it before going ready).
-func loadStore(srv *server.Server, path string) error {
+// staticRegion pins the static index mapping for the process lifetime:
+// the store's word slices alias the mapping and are invisible to the
+// garbage collector, so the Region must stay reachable as long as any
+// query can touch the index.
+var staticRegion *mman.Region
+
+// loadStore reads (or with -mmap, maps) the index file and installs it
+// into the server (which self-checks it before going ready).
+func loadStore(srv *server.Server, path string, useMmap bool) error {
 	start := time.Now()
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	store, err := wcoring.ReadStore(bufio.NewReader(f))
-	if err != nil {
-		return fmt.Errorf("reading %s: %w", path, err)
+	var store *wcoring.Store
+	var mappedBytes int64
+	var regions int
+	if useMmap {
+		reg, err := mman.Map(path)
+		if err != nil {
+			return err
+		}
+		store, err = wcoring.ViewStore(reg.Bytes())
+		if err != nil {
+			reg.Release()
+			return fmt.Errorf("mapping %s: %w", path, err)
+		}
+		staticRegion = reg
+		mappedBytes = int64(reg.Len())
+		regions = 1
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		store, err = wcoring.ReadStore(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", path, err)
+		}
 	}
 	if err := srv.SetStore(store); err != nil {
 		return err
 	}
-	log.Printf("loaded %s: %d triples in %v", path, store.Len(), time.Since(start).Round(time.Millisecond))
+	srv.SetLoadInfo(server.LoadInfo{
+		Mode:        loadMode(useMmap),
+		BytesMapped: mappedBytes,
+		Regions:     regions,
+		Seconds:     time.Since(start).Seconds(),
+	})
+	log.Printf("loaded %s: %d triples (mode %s) in %v", path, store.Len(), loadMode(useMmap), time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -19,8 +19,10 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	wcoring "repro"
+	"repro/internal/mman"
 	"repro/internal/persist"
 )
 
@@ -32,6 +34,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "live-update data directory to inspect (read-only)")
 	top := flag.Int("top", 10, "show the k most frequent predicates")
 	pattern := flag.String("pattern", "", "report the cardinality of one 's p o' pattern ('?x' = variable)")
+	useMmap := flag.Bool("mmap", false, "load the index via memory mapping and report the zero-copy layout")
 	flag.Parse()
 	if (*index == "") == (*dataDir == "") {
 		fmt.Fprintln(os.Stderr, "ringstats: exactly one of -index or -data-dir is required")
@@ -43,15 +46,31 @@ func main() {
 		return
 	}
 
-	f, err := os.Open(*index)
-	if err != nil {
-		log.Fatal(err)
+	start := time.Now()
+	var store *wcoring.Store
+	var reg *mman.Region
+	if *useMmap {
+		var err error
+		reg, err = mman.Map(*index)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err = wcoring.ViewStore(reg.Bytes())
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		f, err := os.Open(*index)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err = wcoring.ReadStore(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	store, err := wcoring.ReadStore(bufio.NewReader(f))
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
+	loadTime := time.Since(start)
 	r := store.Ring()
 	d := store.Dictionary()
 
@@ -63,6 +82,28 @@ func main() {
 	fmt.Printf("subject/object ids:  %d   predicate ids: %d\n", r.NumSO(), r.NumP())
 	fmt.Printf("index size:          %d bytes (%.2f bytes/triple; the index replaces the data)\n",
 		r.SizeBytes(), r.BytesPerTriple())
+	if *useMmap {
+		layout, err := wcoring.ReadStoreLayout(reg.Bytes())
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "mmap"
+		if !reg.Mapped() {
+			mode = "mmap (fallback read: platform has no mapping support)"
+		}
+		fmt.Printf("load mode:           %s\n", mode)
+		fmt.Printf("mapped bytes:        %d\n", reg.Len())
+		fmt.Printf("load time:           %v\n", loadTime.Round(time.Microsecond))
+		fmt.Printf("dict section:        %d bytes + %d pad (padded format: %v)\n",
+			layout.DictBytes, layout.PadBytes, layout.Padded)
+		align := "8-byte aligned (zero-copy)"
+		if !layout.Aligned {
+			align = "unaligned (legacy file: words are copied on view)"
+		}
+		fmt.Printf("ring section:        offset %d, %s\n", layout.RingOffset, align)
+	} else {
+		fmt.Printf("load mode:           decode (%v)\n", loadTime.Round(time.Microsecond))
+	}
 
 	if *top > 0 {
 		fmt.Printf("\ntop %d predicates:\n", *top)

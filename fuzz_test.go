@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"unsafe"
 
 	"repro/internal/graph"
 	"repro/internal/ltj"
@@ -52,6 +53,58 @@ func FuzzReadStore(f *testing.F) {
 			t.Fatal("negative length")
 		}
 		_, _ = s.Query([]PatternString{{S: "?x", P: "?p", O: "?y"}}, QueryOptions{Limit: 5})
+	})
+}
+
+// FuzzViewStore is the differential fuzzer for the zero-copy load path:
+// ViewStore and ReadStore must accept/reject the same inputs, and on
+// acceptance answer queries identically. The view buffer is 8-byte
+// aligned so the aliasing fast path (not the copy fallback) is the one
+// being fuzzed.
+func FuzzViewStore(f *testing.F) {
+	store, err := NewStore([]StringTriple{
+		{S: "a", P: "p", O: "b"},
+		{S: "b", P: "p", O: "c"},
+		{S: "c", P: "q", O: "a"},
+	}, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := store.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is definitely not an index"))
+	for _, i := range []int{0, 8, 20, len(valid) / 2, len(valid) - 1} {
+		c := append([]byte(nil), valid...)
+		c[i] ^= 0x5A
+		f.Add(c)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		aligned := make([]byte, len(data)+8)
+		base := (8 - int(uintptr(unsafe.Pointer(&aligned[0])))%8) % 8
+		copy(aligned[base:], data)
+		viewed, errView := ViewStore(aligned[base : base+len(data)])
+		read, errRead := ReadStore(bytes.NewReader(data))
+		if (errView == nil) != (errRead == nil) {
+			t.Fatalf("paths disagree: view err %v, read err %v", errView, errRead)
+		}
+		if errView != nil {
+			return
+		}
+		if viewed.Len() != read.Len() {
+			t.Fatalf("Len: view %d, read %d", viewed.Len(), read.Len())
+		}
+		q := []PatternString{{S: "?x", P: "?p", O: "?y"}}
+		sv, errV := viewed.Query(q, QueryOptions{Limit: 10})
+		sr, errR := read.Query(q, QueryOptions{Limit: 10})
+		if (errV == nil) != (errR == nil) || len(sv) != len(sr) {
+			t.Fatalf("query: view (%d sols, %v), read (%d sols, %v)", len(sv), errV, len(sr), errR)
+		}
 	})
 }
 

@@ -1,0 +1,189 @@
+package bits
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"unsafe"
+)
+
+// Source supplies little-endian uint64 words to the succinct-structure
+// deserializers. Two implementations exist:
+//
+//   - ReaderSource decodes from an io.Reader, copying every word onto the
+//     heap. This is the historical load path and works on any stream.
+//   - ByteSource decodes from an in-memory byte slice (typically a
+//     memory-mapped file). When the host is little-endian and the slice is
+//     8-byte aligned, Words returns sub-slices that alias the backing
+//     bytes directly — zero copies, zero allocation proportional to the
+//     payload. Otherwise it silently falls back to copying.
+//
+// The split between U64s and Words encodes an ownership contract:
+// U64s is for headers and small directories — the result is always a
+// fresh private slice the caller may scribble on. Words is for bulk
+// payloads — the result MAY alias read-only mapped memory and must never
+// be written to (see the ringlint viewsafe analyzer and DESIGN.md §12).
+type Source interface {
+	// U64s reads n little-endian uint64 values into a freshly allocated
+	// slice the caller owns.
+	U64s(n int) ([]uint64, error)
+	// Words reads n little-endian uint64 values. The result may alias
+	// the source's backing buffer and must be treated as read-only.
+	Words(n int) ([]uint64, error)
+	// Aliased reports whether Words returns aliases into the backing
+	// buffer (true only for an aligned ByteSource on a little-endian
+	// host).
+	Aliased() bool
+}
+
+// maxSliceWords bounds any single Words/U64s request. A forged length in
+// a corrupt header must fail fast instead of allocating gigabytes.
+const maxSliceWords = 1 << 34
+
+// hostLittleEndian reports whether the running machine stores uint64
+// values little-endian, i.e. whether the serialized little-endian word
+// stream can be reinterpreted in place.
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// ReaderSource adapts an io.Reader into a Source. It never aliases: every
+// word is decoded into fresh heap slices, preserving the historical
+// decode-and-copy load path byte for byte (it consumes exactly the words
+// requested, so composite streams — a ring after a dictionary, a wavelet
+// level after a header — keep working).
+type ReaderSource struct {
+	r      io.Reader
+	prefix string
+}
+
+// NewReaderSource returns a Source reading from r. prefix namespaces
+// error messages (e.g. "bitvector").
+func NewReaderSource(r io.Reader, prefix string) *ReaderSource {
+	return &ReaderSource{r: r, prefix: prefix}
+}
+
+// U64s reads n words from the stream.
+func (s *ReaderSource) U64s(n int) ([]uint64, error) {
+	if n < 0 || n > maxSliceWords {
+		return nil, fmt.Errorf("%s: implausible slice length %d", s.prefix, n)
+	}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(s.r, buf); err != nil {
+		return nil, fmt.Errorf("%s: short read: %w", s.prefix, err)
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return vs, nil
+}
+
+// Words reads n words from the stream. The slice grows chunk by chunk as
+// reads succeed: a forged length on a truncated stream must fail fast,
+// not allocate gigabytes up front.
+func (s *ReaderSource) Words(n int) ([]uint64, error) {
+	if n < 0 || n > maxSliceWords {
+		return nil, fmt.Errorf("%s: implausible slice length %d", s.prefix, n)
+	}
+	var out []uint64
+	const chunk = 8192
+	buf := make([]byte, 8*chunk)
+	for off := 0; off < n; {
+		m := n - off
+		if m > chunk {
+			m = chunk
+		}
+		if _, err := io.ReadFull(s.r, buf[:8*m]); err != nil {
+			return nil, fmt.Errorf("%s: short read: %w", s.prefix, err)
+		}
+		for i := 0; i < m; i++ {
+			out = append(out, binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		off += m
+	}
+	if out == nil {
+		out = []uint64{}
+	}
+	return out, nil
+}
+
+// Aliased always reports false for a ReaderSource.
+func (s *ReaderSource) Aliased() bool { return false }
+
+// ByteSource is a Source over an in-memory byte slice, typically a
+// memory-mapped index file. When the base pointer is 8-byte aligned and
+// the host is little-endian, Words reinterprets the bytes in place;
+// otherwise (odd interior offsets in legacy store files, exotic hosts)
+// it copies, which is slower but always correct.
+type ByteSource struct {
+	buf    []byte
+	off    int
+	prefix string
+	alias  bool
+}
+
+// NewByteSource returns a Source over b. prefix namespaces error
+// messages. b must not be mutated while any structure decoded from the
+// source is alive.
+func NewByteSource(b []byte, prefix string) *ByteSource {
+	alias := hostLittleEndian &&
+		(len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0)
+	return &ByteSource{buf: b, prefix: prefix, alias: alias}
+}
+
+// Offset returns the number of bytes consumed so far.
+func (s *ByteSource) Offset() int { return s.off }
+
+// take bounds-checks and consumes 8*n bytes, returning the raw section.
+func (s *ByteSource) take(n int) ([]byte, error) {
+	if n < 0 || n > maxSliceWords {
+		return nil, fmt.Errorf("%s: implausible slice length %d", s.prefix, n)
+	}
+	if rem := len(s.buf) - s.off; rem < 8*n || 8*n < 0 {
+		return nil, fmt.Errorf("%s: short read: %w", s.prefix, io.ErrUnexpectedEOF)
+	}
+	raw := s.buf[s.off : s.off+8*n]
+	s.off += 8 * n
+	return raw, nil
+}
+
+// U64s decodes n words into a fresh slice the caller owns.
+func (s *ByteSource) U64s(n int) ([]uint64, error) {
+	raw, err := s.take(n)
+	if err != nil {
+		return nil, err
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	return vs, nil
+}
+
+// Words returns n words, aliasing the backing buffer when possible. The
+// result must be treated as read-only: on the aliased path it points
+// into memory that may be a read-only file mapping.
+func (s *ByteSource) Words(n int) ([]uint64, error) {
+	raw, err := s.take(n)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return []uint64{}, nil
+	}
+	// All reads are whole words, so the interior offset stays congruent
+	// mod 8 with the base; still check per call for robustness.
+	if s.alias && uintptr(unsafe.Pointer(&raw[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&raw[0])), n), nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	return vs, nil
+}
+
+// Aliased reports whether Words aliases the backing buffer.
+func (s *ByteSource) Aliased() bool { return s.alias }

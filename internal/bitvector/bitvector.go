@@ -61,6 +61,10 @@ const superWords = superBits / 64
 // overhead the paper reports for its plain configuration.
 // The zero value is an empty vector; use NewPlain or a Builder to create one.
 type Plain struct {
+	// words may alias a read-only memory-mapped file when the vector was
+	// loaded through ViewPlain; it must never be written to after
+	// construction.
+	//ringlint:viewed
 	words []uint64
 	n     int
 
@@ -336,7 +340,31 @@ func (p *Plain) WriteTo(w io.Writer) (int64, error) {
 
 // ReadPlain deserializes a Plain vector written by WriteTo.
 func ReadPlain(r io.Reader) (*Plain, error) {
-	hdr, err := readUint64s(r, 3)
+	return DecodePlain(bits.NewReaderSource(r, "bitvector"))
+}
+
+// ViewPlain deserializes a Plain vector from an in-memory buffer —
+// typically a memory-mapped file. The word payload aliases b when the
+// host is little-endian and b is 8-byte aligned (copied otherwise); the
+// rank/select directories are rebuilt on the heap either way. It returns
+// the number of bytes consumed so callers can continue decoding a
+// composite stream.
+func ViewPlain(b []byte) (*Plain, int, error) {
+	src := bits.NewByteSource(b, "bitvector")
+	p, err := DecodePlain(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, src.Offset(), nil
+}
+
+// DecodePlain deserializes a Plain vector from any Source. The payload
+// obtained through src.Words may alias read-only mapped memory, so —
+// unlike PlainFromWords, which clears stray tail bits in place — the
+// decoder rejects a nonzero tail instead of repairing it. WriteTo always
+// emits clean tails, so this only fires on corrupt or hand-forged input.
+func DecodePlain(src bits.Source) (*Plain, error) {
+	hdr, err := src.U64s(3)
 	if err != nil {
 		return nil, err
 	}
@@ -347,9 +375,14 @@ func ReadPlain(r io.Reader) (*Plain, error) {
 	if n < 0 || nw != bits.WordsFor(uint64(n)) {
 		return nil, fmt.Errorf("bitvector: corrupt Plain header (n=%d words=%d)", n, nw)
 	}
-	words, err := readUint64Slice(r, nw)
+	words, err := src.Words(nw)
 	if err != nil {
 		return nil, err
 	}
-	return PlainFromWords(words, n), nil
+	if tail := uint(n & 63); tail != 0 && words[nw-1]>>tail != 0 {
+		return nil, fmt.Errorf("bitvector: nonzero bits past Plain length %d", n)
+	}
+	p := &Plain{words: words, n: n}
+	p.buildDirectory()
+	return p, nil
 }

@@ -2,7 +2,6 @@ package bitvector
 
 import (
 	"encoding/binary"
-	"fmt"
 	"io"
 )
 
@@ -32,18 +31,6 @@ func writeUint64s(w io.Writer, vs ...uint64) error {
 	return nil
 }
 
-func readUint64s(r io.Reader, n int) ([]uint64, error) {
-	buf := make([]byte, 8*n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("bitvector: short read: %w", err)
-	}
-	vs := make([]uint64, n)
-	for i := range vs {
-		vs[i] = binary.LittleEndian.Uint64(buf[8*i:])
-	}
-	return vs, nil
-}
-
 // writeUint64Slice writes the slice contents in little-endian order,
 // chunking to bound the temporary buffer.
 func writeUint64Slice(w io.Writer, s []uint64) error {
@@ -63,32 +50,4 @@ func writeUint64Slice(w io.Writer, s []uint64) error {
 		s = s[n:]
 	}
 	return nil
-}
-
-func readUint64Slice(r io.Reader, n int) ([]uint64, error) {
-	if n < 0 || n > 1<<34 {
-		return nil, fmt.Errorf("bitvector: implausible slice length %d", n)
-	}
-	// Grow the slice chunk by chunk as reads succeed: a forged length on a
-	// truncated stream must fail fast, not allocate gigabytes up front.
-	var s []uint64
-	const chunk = 8192
-	buf := make([]byte, 8*chunk)
-	for off := 0; off < n; {
-		m := n - off
-		if m > chunk {
-			m = chunk
-		}
-		if _, err := io.ReadFull(r, buf[:8*m]); err != nil {
-			return nil, fmt.Errorf("bitvector: short read: %w", err)
-		}
-		for i := 0; i < m; i++ {
-			s = append(s, binary.LittleEndian.Uint64(buf[8*i:]))
-		}
-		off += m
-	}
-	if s == nil {
-		s = []uint64{}
-	}
-	return s, nil
 }

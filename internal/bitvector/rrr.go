@@ -28,9 +28,14 @@ type RRR struct {
 	ones      int
 
 	classWidth uint
-	classes    []uint64 // packed classWidth-bit class per block
-	offsets    []uint64 // concatenated variable-width offsets
-	offsetLen  uint64   // total bits used in offsets
+	// classes and offsets may alias a read-only memory-mapped file when
+	// the vector was loaded through ViewRRR; never write to them after
+	// construction.
+	//ringlint:viewed
+	classes []uint64 // packed classWidth-bit class per block
+	//ringlint:viewed
+	offsets   []uint64 // concatenated variable-width offsets
+	offsetLen uint64   // total bits used in offsets
 
 	superRank []uint32 // cumulative ones before each superblock
 	superOff  []uint32 // offset-stream bit position at each superblock
@@ -112,6 +117,9 @@ func (t *binomTable) buildDecodeTable() {
 //
 //ringlint:hotpath
 func (t *binomTable) rankInBlock(class int, off uint64, rem uint) int {
+	if class > t.bs || off >= t.binom[t.bs][class] {
+		return 0 // corrupt (viewed) payload; reject without panicking
+	}
 	if t.dec != nil {
 		return mbits.OnesCount64(uint64(t.dec[class][off]) & ((1 << rem) - 1))
 	}
@@ -148,6 +156,9 @@ func (t *binomTable) encodeBlock(w uint64) uint64 {
 //
 //ringlint:hotpath
 func (t *binomTable) decodeBlock(class int, off uint64) uint64 {
+	if class > t.bs || off >= t.binom[t.bs][class] {
+		return 0 // corrupt (viewed) payload; reject without panicking
+	}
 	if t.dec != nil {
 		return uint64(t.dec[class][off])
 	}
@@ -214,8 +225,12 @@ func rrrFromWords(words []uint64, n, blockSize int) *RRR {
 		}
 		w := r.blockWordFrom(words, blk)
 		c := mbits.OnesCount64(w)
+		// Both slices were freshly allocated above; this builder never
+		// sees view-aliased memory.
+		//ringlint:allow viewsafe
 		bits.WriteBits(r.classes, uint64(blk)*uint64(r.classWidth), r.classWidth, uint64(c))
 		if wd := tab.width[c]; wd > 0 {
+			//ringlint:allow viewsafe
 			bits.WriteBits(r.offsets, pos, wd, tab.encodeBlock(w))
 			pos += uint64(wd)
 		}
@@ -259,9 +274,21 @@ func (r *RRR) blockWordFrom(words []uint64, blk int) uint64 {
 	return w
 }
 
+// class returns block blk's popcount class. Corrupt (viewed) payloads can
+// hold class values up to 2^classWidth-1 > blockSize, which would overrun
+// the binomial tables downstream, so out-of-range reads clamp to 0.
+//
 //ringlint:hotpath
 func (r *RRR) class(blk int) int {
-	return int(bits.ReadBits(r.classes, uint64(blk)*uint64(r.classWidth), r.classWidth))
+	pos := uint64(blk) * uint64(r.classWidth)
+	if pos+uint64(r.classWidth) > uint64(len(r.classes))*64 {
+		return 0
+	}
+	c := int(bits.ReadBits(r.classes, pos, r.classWidth))
+	if c > r.blockSize {
+		return 0
+	}
+	return c
 }
 
 // blockAt decodes block blk given the bit position of its offset in the
@@ -272,7 +299,7 @@ func (r *RRR) blockAt(blk int, offPos uint64) uint64 {
 	c := r.class(blk)
 	wd := r.tab.width[c]
 	var off uint64
-	if wd > 0 {
+	if wd > 0 && offPos+uint64(wd) <= uint64(len(r.offsets))*64 {
 		off = bits.ReadBits(r.offsets, offPos, wd)
 	}
 	return r.tab.decodeBlock(c, off)
@@ -291,6 +318,9 @@ func (r *RRR) seekBlock(blk int) (rankBefore int, offPos uint64) {
 	for b := sb * r.sbRate; b < blk; b++ {
 		c := bits.ReadBits(r.classes, bitPos, r.classWidth)
 		bitPos += cw
+		if c > uint64(r.blockSize) {
+			c = 0 // corrupt payload: clamp before indexing the width table
+		}
 		rank += c
 		pos += uint64(r.tab.width[c])
 	}
@@ -332,7 +362,7 @@ func (r *RRR) Rank1(i int) int {
 		c := r.class(blk)
 		wd := r.tab.width[c]
 		var off uint64
-		if wd > 0 {
+		if wd > 0 && pos+uint64(wd) <= uint64(len(r.offsets))*64 {
 			off = bits.ReadBits(r.offsets, pos, wd)
 		}
 		rank += r.tab.rankInBlock(c, off, rem)
@@ -377,7 +407,10 @@ func (r *RRR) Select1(k int) int {
 	rem := k - int(r.superRank[lo])
 	pos := uint64(r.superOff[lo])
 	blk := lo * r.sbRate
-	for {
+	// On well-formed input the walk always finds the k-th one inside this
+	// superblock; bounding it keeps corrupt payloads from reading past the
+	// class stream or looping forever.
+	for nBlocks := (r.n + r.blockSize - 1) / r.blockSize; blk < nBlocks; blk++ {
 		c := r.class(blk)
 		if rem <= c {
 			w := r.blockAt(blk, pos)
@@ -389,8 +422,8 @@ func (r *RRR) Select1(k int) int {
 		}
 		rem -= c
 		pos += uint64(r.tab.width[c])
-		blk++
 	}
+	return -1
 }
 
 // Select0 returns the position of the k-th zero (1-based), or -1.
@@ -418,7 +451,8 @@ func (r *RRR) Select0(k int) int {
 	rem := k - r.zerosBefore(lo)
 	pos := uint64(r.superOff[lo])
 	blk := lo * r.sbRate
-	for {
+	// Bounded for the same reason as the Select1 walk.
+	for nBlocks := (r.n + r.blockSize - 1) / r.blockSize; blk < nBlocks; blk++ {
 		blkLen := r.blockSize
 		if end := (blk + 1) * r.blockSize; end > r.n {
 			blkLen = r.n - blk*r.blockSize
@@ -435,8 +469,8 @@ func (r *RRR) Select0(k int) int {
 		}
 		rem -= z
 		pos += uint64(r.tab.width[c])
-		blk++
 	}
+	return -1
 }
 
 // SizeBytes returns the memory footprint of the compressed structure,
@@ -493,7 +527,26 @@ func narrow(xs []uint64) ([]uint32, error) {
 
 // ReadRRR deserializes an RRR vector written by WriteTo.
 func ReadRRR(rd io.Reader) (*RRR, error) {
-	hdr, err := readUint64s(rd, 9)
+	return DecodeRRR(bits.NewReaderSource(rd, "bitvector"))
+}
+
+// ViewRRR deserializes an RRR vector from an in-memory buffer. The
+// classes and offsets payloads alias b when possible; the uint32
+// rank/offset directories and select samples are always rebuilt or
+// copied onto the heap (they are o(n) and need a width change anyway).
+// Returns the number of bytes consumed.
+func ViewRRR(b []byte) (*RRR, int, error) {
+	src := bits.NewByteSource(b, "bitvector")
+	r, err := DecodeRRR(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r, src.Offset(), nil
+}
+
+// DecodeRRR deserializes an RRR vector from any Source.
+func DecodeRRR(src bits.Source) (*RRR, error) {
+	hdr, err := src.U64s(9)
 	if err != nil {
 		return nil, err
 	}
@@ -518,20 +571,22 @@ func ReadRRR(rd io.Reader) (*RRR, error) {
 		int(hdr[7]) != bits.WordsFor(r.offsetLen) || int(hdr[8]) != nSuper+1 {
 		return nil, errors.New("bitvector: corrupt RRR section lengths")
 	}
-	if r.classes, err = readUint64Slice(rd, int(hdr[6])); err != nil {
+	if r.classes, err = src.Words(int(hdr[6])); err != nil {
 		return nil, err
 	}
-	if r.offsets, err = readUint64Slice(rd, int(hdr[7])); err != nil {
+	if r.offsets, err = src.Words(int(hdr[7])); err != nil {
 		return nil, err
 	}
-	rawRank, err := readUint64Slice(rd, int(hdr[8]))
+	// The serialized uint32 directories are widened to uint64 on disk;
+	// narrow always copies, so they never alias the source buffer.
+	rawRank, err := src.Words(int(hdr[8]))
 	if err != nil {
 		return nil, err
 	}
 	if r.superRank, err = narrow(rawRank); err != nil {
 		return nil, err
 	}
-	rawOff, err := readUint64Slice(rd, int(hdr[8]))
+	rawOff, err := src.Words(int(hdr[8]))
 	if err != nil {
 		return nil, err
 	}
@@ -539,10 +594,26 @@ func ReadRRR(rd io.Reader) (*RRR, error) {
 		return nil, err
 	}
 	// The select-sample rebuild walks the rank directory up to the ones
-	// count; a stream whose directory disagrees with the header must be
-	// rejected, not walked past.
+	// (and zeros) count; a stream whose directory disagrees with the
+	// header must be rejected, not walked past. The zeros side also
+	// catches an absurd sbRate: it overflows the superblock→bit products
+	// zerosBefore relies on, making the count disagree.
 	if int(r.superRank[len(r.superRank)-1]) != r.ones {
 		return nil, errors.New("bitvector: RRR rank directory inconsistent with ones count")
+	}
+	if r.zerosBefore(len(r.superRank)-1) != r.n-r.ones {
+		return nil, errors.New("bitvector: RRR rank directory inconsistent with zeros count")
+	}
+	// Select narrows between superblocks by binary search, which assumes
+	// monotone directories; the offset positions must also stay inside
+	// the offset stream or block decoding would read past the payload.
+	for i := 0; i+1 < len(r.superRank); i++ {
+		if r.superRank[i] > r.superRank[i+1] || r.superOff[i] > r.superOff[i+1] {
+			return nil, errors.New("bitvector: RRR superblock directory not monotone")
+		}
+	}
+	if uint64(r.superOff[len(r.superOff)-1]) > r.offsetLen {
+		return nil, errors.New("bitvector: RRR superblock offsets exceed the offset stream")
 	}
 	r.buildSelectSamples()
 	return r, nil

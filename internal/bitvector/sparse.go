@@ -3,6 +3,7 @@ package bitvector
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/bits"
@@ -15,8 +16,11 @@ import (
 // stored as a bitvector to save space"), where C[i] is recovered by select
 // and the forward leap's binary search becomes one select0.
 type Sparse struct {
-	n    int // number of set bits
-	m    int // universe (vector length)
+	n int // number of set bits
+	m int // universe (vector length)
+	// low may alias a read-only memory-mapped file when the vector was
+	// loaded through ViewSparse; never write to it after construction.
+	//ringlint:viewed
 	low  []uint64
 	lw   uint   // low bits per element
 	high *Plain // unary-coded high parts: one (val>>lw)+index per element
@@ -49,6 +53,8 @@ func NewSparse(m int, ones []int) *Sparse {
 		}
 		prev = p
 		if s.lw > 0 {
+			// s.low was freshly allocated above, never view-aliased.
+			//ringlint:allow viewsafe
 			bits.WriteBits(s.low, uint64(j)*uint64(s.lw), s.lw, uint64(p)&((1<<s.lw)-1))
 		}
 		hb.Set((p >> s.lw) + j)
@@ -175,7 +181,7 @@ func (s *Sparse) SizeBytes() int {
 const sparseMagic = uint64(0x52494e4745464256) // "RINGEFBV"
 
 // WriteTo serializes the vector.
-func (s *Sparse) WriteTo(w interface{ Write([]byte) (int, error) }) (int64, error) {
+func (s *Sparse) WriteTo(w io.Writer) (int64, error) {
 	cw := newCountWriter(w)
 	if err := writeUint64s(cw, sparseMagic, uint64(s.n), uint64(s.m), uint64(s.lw), uint64(len(s.low))); err != nil {
 		return cw.n, err
@@ -190,8 +196,25 @@ func (s *Sparse) WriteTo(w interface{ Write([]byte) (int, error) }) (int64, erro
 }
 
 // ReadSparse deserializes a Sparse vector written by WriteTo.
-func ReadSparse(r interface{ Read([]byte) (int, error) }) (*Sparse, error) {
-	hdr, err := readUint64s(r, 5)
+func ReadSparse(r io.Reader) (*Sparse, error) {
+	return DecodeSparse(bits.NewReaderSource(r, "bitvector"))
+}
+
+// ViewSparse deserializes a Sparse vector from an in-memory buffer,
+// aliasing the low-bits payload (and the nested Plain high vector's
+// words) when possible. Returns the number of bytes consumed.
+func ViewSparse(b []byte) (*Sparse, int, error) {
+	src := bits.NewByteSource(b, "bitvector")
+	s, err := DecodeSparse(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, src.Offset(), nil
+}
+
+// DecodeSparse deserializes a Sparse vector from any Source.
+func DecodeSparse(src bits.Source) (*Sparse, error) {
+	hdr, err := src.U64s(5)
 	if err != nil {
 		return nil, err
 	}
@@ -203,11 +226,20 @@ func ReadSparse(r interface{ Read([]byte) (int, error) }) (*Sparse, error) {
 		int(hdr[4]) != bits.WordsFor(uint64(s.n)*uint64(s.lw)) {
 		return nil, errors.New("bitvector: corrupt Sparse header")
 	}
-	if s.low, err = readUint64Slice(r, int(hdr[4])); err != nil {
+	if s.low, err = src.Words(int(hdr[4])); err != nil {
 		return nil, err
 	}
-	if s.high, err = ReadPlain(r); err != nil {
+	if s.high, err = DecodePlain(src); err != nil {
 		return nil, err
+	}
+	// NewSparse sizes the unary stream as n + (m>>lw) + 2 bits with one
+	// set bit per element, which ties the header to the serialized high
+	// vector: a corrupt n, m, or lw that slipped past the checks above
+	// breaks one of the relations. (The Plain's rank directory is rebuilt
+	// from the payload, so Ones is trustworthy and select is total for
+	// k <= n afterwards.)
+	if s.n > s.m || s.high.Len() != s.n+(s.m>>s.lw)+2 || s.high.Ones() != s.n {
+		return nil, errors.New("bitvector: Sparse high vector inconsistent with header")
 	}
 	return s, nil
 }

@@ -14,6 +14,7 @@ package dict
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -21,6 +22,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"unsafe"
 
 	"repro/internal/graph"
 )
@@ -36,6 +39,32 @@ type Dictionary struct {
 	p     []string // sorted; index = ID
 	soIDs map[string]graph.ID
 	pIDs  map[string]graph.ID
+
+	// View-loaded dictionaries defer the encode-side maps to first use:
+	// decoding (ID -> string) needs only the slices, so a server that maps
+	// an index pays for the maps on the first query with a constant, not
+	// at load. Build and Read populate the maps eagerly; ensureMaps is
+	// then a no-op behind an atomic load.
+	mapOnce sync.Once
+}
+
+// ensureMaps builds the string -> ID maps if View deferred them. Safe
+// for concurrent readers; mutators (AddSO/AddP) already require external
+// synchronization.
+func (d *Dictionary) ensureMaps() {
+	d.mapOnce.Do(func() {
+		if d.soIDs != nil {
+			return
+		}
+		d.soIDs = make(map[string]graph.ID, len(d.so))
+		d.pIDs = make(map[string]graph.ID, len(d.p))
+		for i, s := range d.so {
+			d.soIDs[s] = graph.ID(i)
+		}
+		for i, s := range d.p {
+			d.pIDs[s] = graph.ID(i)
+		}
+	})
 }
 
 // Build constructs a dictionary from the given triples and returns it along
@@ -86,6 +115,7 @@ func (d *Dictionary) NumP() graph.ID { return graph.ID(len(d.p)) }
 // a dictionary across goroutines must provide their own synchronization
 // (the persistence layer holds its writer lock here).
 func (d *Dictionary) AddSO(s string) graph.ID {
+	d.ensureMaps()
 	if id, ok := d.soIDs[s]; ok {
 		return id
 	}
@@ -98,6 +128,7 @@ func (d *Dictionary) AddSO(s string) graph.ID {
 // AddP returns the ID of a predicate constant, appending it to the space
 // if absent. See AddSO for the ordering and synchronization contract.
 func (d *Dictionary) AddP(s string) graph.ID {
+	d.ensureMaps()
 	if id, ok := d.pIDs[s]; ok {
 		return id
 	}
@@ -109,12 +140,14 @@ func (d *Dictionary) AddP(s string) graph.ID {
 
 // EncodeSO returns the ID of a subject/object constant.
 func (d *Dictionary) EncodeSO(s string) (graph.ID, bool) {
+	d.ensureMaps()
 	id, ok := d.soIDs[s]
 	return id, ok
 }
 
 // EncodeP returns the ID of a predicate constant.
 func (d *Dictionary) EncodeP(s string) (graph.ID, bool) {
+	d.ensureMaps()
 	id, ok := d.pIDs[s]
 	return id, ok
 }
@@ -287,6 +320,83 @@ func Read(r io.Reader) (*Dictionary, error) {
 	}
 	for i, s := range d.p {
 		d.pIDs[s] = graph.ID(i)
+	}
+	return d, nil
+}
+
+// asString views a byte slice as a string without copying. The result
+// aliases b and must not outlive it.
+func asString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// View deserializes a dictionary from an in-memory buffer, typically the
+// dictionary section of a memory-mapped index. Unlike Read it performs
+// no per-term allocation: term strings alias b, and the string -> ID
+// maps are deferred to the first Encode/Add call (see ensureMaps), so a
+// view load is one linear scan over the section. It accepts and rejects
+// exactly the inputs Read does (FuzzViewStore holds the two paths to the
+// same verdicts).
+//
+// b must stay valid (mapped, unmodified) for the lifetime of the
+// dictionary; terms handed out by Decode* alias it.
+func View(b []byte) (*Dictionary, error) {
+	if len(b) < len(magicHdr) || string(b[:len(magicHdr)]) != magicHdr {
+		return nil, errors.New("dict: bad magic")
+	}
+	// The count line reuses Fscanf over a RuneScanner so its acceptance
+	// quirks (signs, spacing) match Read's byte for byte; the reader's
+	// remaining length then yields the exact resume offset.
+	br := bytes.NewReader(b[len(magicHdr):])
+	var nSO, nP int
+	if _, err := fmt.Fscanf(br, "%d %d\n", &nSO, &nP); err != nil {
+		return nil, fmt.Errorf("dict: bad counts: %w", err)
+	}
+	if nSO < 0 || nP < 0 {
+		return nil, errors.New("dict: negative counts")
+	}
+	if uint64(nSO) > math.MaxUint32 || uint64(nP) > math.MaxUint32 {
+		return nil, errors.New("dict: counts exceed the ID space")
+	}
+	pos := len(b) - br.Len()
+	viewTerms := func(n int) ([]string, error) {
+		// Capacity grows by append for the same reason Read's does: a
+		// fabricated count must not force a huge allocation.
+		out := make([]string, 0, min(n, 1<<16))
+		for i := 0; i < n; i++ {
+			rel := bytes.IndexByte(b[pos:], ':')
+			if rel < 0 {
+				return nil, fmt.Errorf("dict: truncated at entry %d: %w", i, io.EOF)
+			}
+			prefix := b[pos : pos+rel]
+			tlen, err := strconv.Atoi(asString(prefix))
+			if err != nil || tlen < 0 || tlen > maxTermBytes {
+				return nil, fmt.Errorf("dict: entry %d: bad term length %q", i, prefix)
+			}
+			pos += rel + 1
+			if tlen > len(b)-pos {
+				return nil, fmt.Errorf("dict: truncated at entry %d: %w", i, io.ErrUnexpectedEOF)
+			}
+			term := asString(b[pos : pos+tlen])
+			pos += tlen
+			if pos >= len(b) || b[pos] != '\n' {
+				return nil, fmt.Errorf("dict: entry %d: missing terminator", i)
+			}
+			pos++
+			out = append(out, term)
+		}
+		return out, nil
+	}
+	d := &Dictionary{}
+	var err error
+	if d.so, err = viewTerms(nSO); err != nil {
+		return nil, err
+	}
+	if d.p, err = viewTerms(nP); err != nil {
+		return nil, err
 	}
 	return d, nil
 }

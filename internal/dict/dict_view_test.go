@@ -1,0 +1,148 @@
+package dict
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+func serializedDict(t *testing.T) (*Dictionary, []byte) {
+	t.Helper()
+	d, _ := Build([]StringTriple{
+		{S: "alice", P: "knows", O: "bob"},
+		{S: "bob", P: "knows", O: "carol"},
+		{S: "carol", P: "likes", O: "alice"},
+		{S: "d\nangerous", P: "p:with:colons", O: ""},
+	})
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return d, buf.Bytes()
+}
+
+// TestViewMatchesRead checks the view loader against the reader on the
+// same image: identical term tables, and identical encode/decode
+// behavior once the lazy maps materialize.
+func TestViewMatchesRead(t *testing.T) {
+	_, data := serializedDict(t)
+	rd, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	vd, err := View(data)
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	if vd.NumSO() != rd.NumSO() || vd.NumP() != rd.NumP() {
+		t.Fatalf("sizes: view (%d,%d), read (%d,%d)", vd.NumSO(), vd.NumP(), rd.NumSO(), rd.NumP())
+	}
+	for id := 0; id < int(rd.NumSO()); id++ {
+		want, _ := rd.DecodeSO(uint32(id))
+		got, ok := vd.DecodeSO(uint32(id))
+		if !ok || got != want {
+			t.Fatalf("DecodeSO(%d): view %q, read %q", id, got, want)
+		}
+		// The lazy encode maps must invert the table exactly.
+		back, ok := vd.EncodeSO(want)
+		if !ok || int(back) != id {
+			t.Fatalf("EncodeSO(%q): view %d ok=%v, want %d", want, back, ok, id)
+		}
+	}
+	for id := 0; id < int(rd.NumP()); id++ {
+		want, _ := rd.DecodeP(uint32(id))
+		got, ok := vd.DecodeP(uint32(id))
+		if !ok || got != want {
+			t.Fatalf("DecodeP(%d): view %q, read %q", id, got, want)
+		}
+		back, ok := vd.EncodeP(want)
+		if !ok || int(back) != id {
+			t.Fatalf("EncodeP(%q): view %d ok=%v, want %d", want, back, ok, id)
+		}
+	}
+	if _, ok := vd.EncodeSO("not-a-term"); ok {
+		t.Fatal("EncodeSO accepted an absent term")
+	}
+}
+
+// TestViewAliasesBuffer checks the zero-copy property: a viewed term's
+// bytes live inside the source buffer, not in a heap copy.
+func TestViewAliasesBuffer(t *testing.T) {
+	_, data := serializedDict(t)
+	vd, err := View(data)
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	var term string
+	for id := uint32(0); id < vd.NumSO(); id++ {
+		if s, ok := vd.DecodeSO(id); ok && len(s) > 0 {
+			term = s
+			break
+		}
+	}
+	if term == "" {
+		t.Fatal("no non-empty term to check")
+	}
+	p := uintptr(unsafe.Pointer(unsafe.StringData(term)))
+	lo := uintptr(unsafe.Pointer(&data[0]))
+	if p < lo || p >= lo+uintptr(len(data)) {
+		t.Fatal("viewed term does not alias the source buffer")
+	}
+}
+
+// TestViewGrowsAfterLoad checks that a view-loaded dictionary still
+// accepts appends (the live layer's path) once the lazy maps are built.
+func TestViewGrowsAfterLoad(t *testing.T) {
+	_, data := serializedDict(t)
+	vd, err := View(data)
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	n := vd.NumSO()
+	id := vd.AddSO("zz-new-term")
+	if id != n {
+		t.Fatalf("AddSO = %d, want %d", id, n)
+	}
+	if got, ok := vd.EncodeSO("zz-new-term"); !ok || got != id {
+		t.Fatalf("EncodeSO after Add = %d, %v", got, ok)
+	}
+	if got := vd.AddSO("zz-new-term"); got != id {
+		t.Fatalf("re-Add = %d, want %d", got, id)
+	}
+}
+
+// TestViewRejectsLikeRead feeds both loaders the same corrupted and
+// truncated images: their accept/reject verdicts must agree, and View
+// must never panic.
+func TestViewRejectsLikeRead(t *testing.T) {
+	_, data := serializedDict(t)
+	cases := [][]byte{
+		{},
+		[]byte("junk"),
+		[]byte(strings.Repeat("x", len(magicHdr)+4)),
+		data[:len(magicHdr)],
+		data[:len(magicHdr)+3],
+		data[:len(data)-1],
+		data[:len(data)/2],
+	}
+	for i := range data {
+		c := append([]byte(nil), data...)
+		c[i] ^= 0x5A
+		cases = append(cases, c)
+	}
+	for ci, c := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("case %d: View panicked: %v", ci, r)
+				}
+			}()
+			_, errV := View(c)
+			_, errR := Read(bytes.NewReader(c))
+			if (errV == nil) != (errR == nil) {
+				t.Fatalf("case %d: verdicts disagree: view %v, read %v", ci, errV, errR)
+			}
+		}()
+	}
+}

@@ -536,6 +536,28 @@ func (s *Store) compactOnce() {
 	}
 }
 
+// ReplaceRing swaps old for new in the ring list, by pointer identity.
+// The persistence layer uses it to substitute a freshly mapped on-disk
+// ring for its heap-built equivalent after a checkpoint: the contents
+// are identical, only the backing memory changes. It returns false — and
+// installs nothing — if old has already left the store (merged away or
+// rebuilt by a delete) or if the lengths disagree. Snapshots pinned
+// before the swap keep reading the old ring; the copy-on-write ring list
+// means they never observe the mutation.
+func (s *Store) ReplaceRing(old, nw *ring.Ring) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.ringIndexLocked(old)
+	if i < 0 || old.Len() != nw.Len() {
+		return false
+	}
+	nrings := append([]*ring.Ring(nil), s.rings...)
+	nrings[i] = nw
+	s.rings = nrings
+	s.publishLocked()
+	return true
+}
+
 // ringIndexLocked finds r in the current ring list by identity, -1 if gone.
 func (s *Store) ringIndexLocked(r *ring.Ring) int {
 	for i, x := range s.rings {

@@ -15,6 +15,9 @@ import (
 
 // Vector is an immutable fixed-width packed integer array.
 type Vector struct {
+	// data may alias a read-only memory-mapped file when the vector was
+	// loaded through View; never write to it after construction.
+	//ringlint:viewed
 	data  []uint64
 	n     int
 	width uint
@@ -51,6 +54,8 @@ func NewWidth(values []uint64, width uint) *Vector {
 		if val > limit {
 			panic(fmt.Sprintf("intvec: value %d exceeds width %d", val, width))
 		}
+		// v.data was freshly allocated above, never view-aliased.
+		//ringlint:allow viewsafe
 		bits.WriteBits(v.data, uint64(i)*uint64(width), width, val)
 	}
 	return v
@@ -138,38 +143,37 @@ func (v *Vector) WriteTo(w io.Writer) (int64, error) {
 
 // Read deserializes a vector written by WriteTo.
 func Read(r io.Reader) (*Vector, error) {
-	hdr := make([]byte, 32)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, fmt.Errorf("intvec: short header: %w", err)
+	return Decode(bits.NewReaderSource(r, "intvec"))
+}
+
+// View deserializes a vector from an in-memory buffer, aliasing the
+// packed payload when possible. Returns the number of bytes consumed.
+func View(b []byte) (*Vector, int, error) {
+	src := bits.NewByteSource(b, "intvec")
+	v, err := Decode(src)
+	if err != nil {
+		return nil, 0, err
 	}
-	getU64 := func(off int) uint64 {
-		var x uint64
-		for i := 0; i < 8; i++ {
-			x |= uint64(hdr[off+i]) << (8 * i)
-		}
-		return x
+	return v, src.Offset(), nil
+}
+
+// Decode deserializes a vector from any Source.
+func Decode(src bits.Source) (*Vector, error) {
+	hdr, err := src.U64s(4)
+	if err != nil {
+		return nil, err
 	}
-	if getU64(0) != magic {
+	if hdr[0] != magic {
 		return nil, errors.New("intvec: bad magic")
 	}
-	v := &Vector{n: int(getU64(8)), width: uint(getU64(16))}
-	nWords := int(getU64(24))
+	v := &Vector{n: int(hdr[1]), width: uint(hdr[2])}
+	nWords := int(hdr[3])
 	if v.width < 1 || v.width > 64 || v.n < 0 ||
 		nWords != bits.WordsFor(uint64(v.n)*uint64(v.width)) {
 		return nil, fmt.Errorf("intvec: corrupt header (n=%d width=%d words=%d)", v.n, v.width, nWords)
 	}
-	// Append as reads succeed so forged headers on short streams fail
-	// before allocating the claimed size.
-	buf := make([]byte, 8)
-	for i := 0; i < nWords; i++ {
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil, fmt.Errorf("intvec: short data: %w", err)
-		}
-		var x uint64
-		for j := 0; j < 8; j++ {
-			x |= uint64(buf[j]) << (8 * j)
-		}
-		v.data = append(v.data, x)
+	if v.data, err = src.Words(nWords); err != nil {
+		return nil, err
 	}
 	return v, nil
 }

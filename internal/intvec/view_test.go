@@ -1,0 +1,108 @@
+package intvec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+// alignedCopy returns a copy of data whose base address is 8-byte
+// aligned plus skew — skew 0 exercises the zero-copy aliasing path,
+// skew 1..7 the misaligned copy fallback.
+func alignedCopy(data []byte, skew int) []byte {
+	buf := make([]byte, len(data)+16)
+	off := (8 - int(uintptr(unsafe.Pointer(&buf[0])))%8) % 8
+	off += skew
+	copy(buf[off:], data)
+	return buf[off : off+len(data)]
+}
+
+func serialize(t *testing.T, v *Vector) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestViewMatchesRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]uint64, 333)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1 << 17))
+	}
+	data := serialize(t, New(vals))
+	for skew := 0; skew < 8; skew++ {
+		v, consumed, err := View(alignedCopy(data, skew))
+		if err != nil {
+			t.Fatalf("skew %d: %v", skew, err)
+		}
+		if consumed != len(data) {
+			t.Fatalf("skew %d: consumed %d of %d bytes", skew, consumed, len(data))
+		}
+		for i, want := range vals {
+			if v.Get(i) != want {
+				t.Fatalf("skew %d: Get(%d) = %d, want %d", skew, i, v.Get(i), want)
+			}
+		}
+	}
+}
+
+// TestViewAliases proves the zero-copy contract on an aligned buffer.
+func TestViewAliases(t *testing.T) {
+	data := alignedCopy(serialize(t, New([]uint64{1, 2, 3, 4, 5})), 0)
+	v, _, err := View(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The packed payload starts after the 4-word header.
+	if unsafe.Pointer(&v.data[0]) != unsafe.Pointer(&data[32]) {
+		t.Error("View on an aligned buffer did not alias the input")
+	}
+}
+
+func TestViewTruncationsError(t *testing.T) {
+	data := serialize(t, New([]uint64{9, 8, 7, 6, 5, 4, 3, 2, 1}))
+	for i := 0; i < len(data); i++ {
+		if _, _, err := View(alignedCopy(data[:i], 0)); err == nil {
+			t.Errorf("accepted truncation to %d of %d bytes", i, len(data))
+		}
+	}
+}
+
+// TestViewBitFlips corrupts the serialization one byte at a time: View
+// must either reject the input or produce a vector that answers queries
+// without panicking.
+func TestViewBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	vals := make([]uint64, 200)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1 << 12))
+	}
+	data := serialize(t, New(vals))
+	for i := 0; i < len(data); i++ {
+		c := alignedCopy(data, 0)
+		c[i] ^= 0x5A
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on byte %d flipped: %v", i, r)
+				}
+			}()
+			v, _, err := View(c)
+			if err != nil {
+				return
+			}
+			n := v.Len()
+			if n > 100000 {
+				n = 100000
+			}
+			for j := 0; j < n; j++ {
+				v.Get(j)
+			}
+			v.SearchPrefix(1 << 11)
+		}()
+	}
+}

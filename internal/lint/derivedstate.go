@@ -15,9 +15,10 @@ import (
 //     reference in a serializer means the derived state is being written
 //     to the stream, bloating the |G| + o(|G|) space claim and going
 //     stale on rebuild), and
-//  2. every Read*/read* deserializer returning the struct must rebuild
-//     them — directly or through functions it calls — before handing the
-//     value out, or queries on a loaded index return wrong answers.
+//  2. every deserializer returning the struct (the Read*/read*,
+//     Decode*/decode* and View*/view* families) must rebuild them —
+//     directly or through functions it calls — before handing the value
+//     out, or queries on a loaded index return wrong answers.
 type derivedstate struct{}
 
 func (derivedstate) Name() string { return "derivedstate" }
@@ -103,7 +104,7 @@ func (derivedstate) Run(pkg *Package) []Diagnostic {
 					"serialization function %s references derived field %s.%s (derived directories must never be serialized)",
 					name, derivedVars[v].Obj().Name(), v.Name()))
 			}
-		case strings.HasPrefix(name, "Read") || strings.HasPrefix(name, "read"):
+		case isDeserializerName(name):
 			sig := fn.Type().(*types.Signature)
 			results := sig.Results()
 			for i := 0; i < results.Len(); i++ {

@@ -29,6 +29,12 @@
 //     On a struct field: Fork() may share this reference-typed field
 //     between forks because the pointee is immutable after construction.
 //
+//   - //ringlint:viewed
+//     On a struct field: the slice may alias a read-only memory mapping
+//     (populated by a View decoder through bits.Source.Words). No code
+//     may write through it — no index assignment, append, copy-into, or
+//     in-place mutator call (viewsafe analyzer).
+//
 //   - //ringlint:allow <analyzer> [-- reason]
 //     On or immediately above a line: suppress that analyzer's findings
 //     for the line, documenting a reviewed exception.
@@ -61,7 +67,7 @@ type Analyzer interface {
 
 // Analyzers returns the full ringlint suite.
 func Analyzers() []Analyzer {
-	return []Analyzer{hotpath{}, derivedstate{}, forksafe{}, truncation{}}
+	return []Analyzer{hotpath{}, derivedstate{}, forksafe{}, truncation{}, viewsafe{}}
 }
 
 // Run applies the analyzers to every package and returns the surviving

@@ -62,7 +62,7 @@ func analyzerByName(t *testing.T, name string) Analyzer {
 // matched by a diagnostic on its line, and every diagnostic must land on a
 // marked line with a matching message.
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"hotpath", "derivedstate", "forksafe", "truncation"} {
+	for _, name := range []string{"hotpath", "derivedstate", "forksafe", "truncation", "viewsafe"} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)
 			pkgs, err := Load(dir, []string{dir})

@@ -32,3 +32,24 @@ func notARead(raw []uint64) int {
 func readBroken(raw []uint64) int {
 	return int(raw[0]) // want "unguarded uint64→int conversion"
 }
+
+// decodeBroken narrows an untrusted word in the Decode* deserializer
+// family (bits.Source path): positive case.
+func decodeBroken(raw []uint64) int {
+	return int(raw[0]) // want "unguarded uint64→int conversion"
+}
+
+// viewBroken narrows an untrusted word in the View* deserializer family
+// (zero-copy mapping path): positive case.
+func viewBroken(raw []uint64) uint32 {
+	return uint32(raw[0]) // want "unguarded uint64→uint32 conversion"
+}
+
+// decodeGuarded validates the narrowed value: negative case.
+func decodeGuarded(raw []uint64) (int, error) {
+	n := int(raw[0])
+	if n < 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}

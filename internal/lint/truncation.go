@@ -5,12 +5,12 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // truncation flags unguarded narrowing conversions of uint64 values —
-// bit positions, counts, header words — inside Read*/read* deserializers,
-// where the uint64 comes from an untrusted stream. An unchecked
+// bit positions, counts, header words — inside deserializers (the
+// Read*/read*, Decode*/decode* and View*/view* families), where the
+// uint64 comes from an untrusted stream or mapping. An unchecked
 // uint64→int/uint32 conversion silently wraps, turning a corrupt header
 // into out-of-range panics or, worse, structurally valid but wrong
 // directories (wrong answers, not crashes).
@@ -39,8 +39,7 @@ func (truncation) Run(pkg *Package) []Diagnostic {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			name := fd.Name.Name
-			if !strings.HasPrefix(name, "Read") && !strings.HasPrefix(name, "read") {
+			if !isDeserializerName(fd.Name.Name) {
 				continue
 			}
 			out = append(out, checkTruncation(pkg, fd)...)

@@ -3,7 +3,22 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
+
+// isDeserializerName reports whether name denotes a deserializer over
+// untrusted bytes: the io.Reader-based Read*/read* forms, and the
+// Decode*/decode* (bits.Source) and View*/view* (zero-copy mapping)
+// forms of the mmap load path. All three families parse attacker- or
+// corruption-controlled input and carry the same validation obligations.
+func isDeserializerName(name string) bool {
+	for _, p := range []string{"Read", "read", "Decode", "decode", "View", "view"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
 
 // buildParents maps every node under root to its parent, so analyzers can
 // look outward from an expression (e.g. from an append call to the

@@ -1,0 +1,103 @@
+// Package mman memory-maps immutable index files for the zero-copy load
+// path. A Region is a read-only byte view of one file: on platforms with
+// mmap support the bytes are a shared file mapping (so load cost is page
+// faults, N processes share one physical copy, and cold pages never
+// touch the heap); elsewhere the file is read into an anonymous slice,
+// which is semantically identical but pays the copy.
+//
+// Lifetime: a Region is reference-counted. Map returns it with one
+// reference; Retain/Release adjust the count and the mapping is unmapped
+// when it reaches zero. Slices handed out by Bytes alias the mapping and
+// are invisible to the garbage collector — they do NOT keep the Region
+// alive, and the mapping is deliberately never unmapped by a Region
+// finalizer: a forgotten Release leaks address space until process exit,
+// which is strictly safer than unmapping under a live structure whose
+// aliases the collector cannot see. Owners that want reclamation tie the
+// Region to the structure built over it (the persist layer sets a
+// finalizer on the view-loaded ring that releases its Region; the static
+// server holds its Region for the process lifetime).
+package mman
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Region is a read-only view of one file, either memory-mapped or read
+// into an anonymous slice (see Mapped).
+type Region struct {
+	data   []byte
+	path   string
+	mapped bool
+
+	mu   sync.Mutex
+	refs int
+}
+
+// Map opens path read-only and maps (or on fallback platforms, reads)
+// its contents. The returned Region holds one reference.
+func Map(path string) (*Region, error) {
+	data, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Region{data: data, path: path, mapped: mapped, refs: 1}, nil
+}
+
+// Bytes returns the mapped contents. The slice aliases the mapping: it
+// must not be written to, and it becomes invalid once the refcount
+// reaches zero.
+func (r *Region) Bytes() []byte { return r.data }
+
+// Len returns the mapped length in bytes.
+func (r *Region) Len() int { return len(r.data) }
+
+// Mapped reports whether the bytes are a real file mapping (false on
+// fallback platforms and for empty files).
+func (r *Region) Mapped() bool { return r.mapped }
+
+// Path returns the file the region was mapped from.
+func (r *Region) Path() string { return r.path }
+
+// Retain adds a reference and returns r for chaining.
+func (r *Region) Retain() *Region {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.refs <= 0 {
+		panic("mman: Retain after the region was unmapped")
+	}
+	r.refs++
+	return r
+}
+
+// Release drops a reference, unmapping when the count reaches zero. It
+// is an error to release more times than the region was retained.
+func (r *Region) Release() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.refs <= 0 {
+		return fmt.Errorf("mman: Release of already-unmapped region %s", r.path)
+	}
+	r.refs--
+	if r.refs > 0 {
+		return nil
+	}
+	return r.unmapLocked()
+}
+
+// Refs returns the current reference count (for tests and stats).
+func (r *Region) Refs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.refs
+}
+
+func (r *Region) unmapLocked() error {
+	data := r.data
+	r.data = nil
+	if !r.mapped {
+		return nil
+	}
+	r.mapped = false
+	return unmapBytes(data)
+}

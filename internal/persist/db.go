@@ -8,14 +8,17 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	wcoring "repro"
 	"repro/internal/dict"
 	"repro/internal/dynamic"
 	"repro/internal/graph"
+	"repro/internal/mman"
 	"repro/internal/ring"
 )
 
@@ -31,6 +34,12 @@ type Options struct {
 	// checkpoints; flushes happen inline on the writer and checkpoints
 	// only when Checkpoint is called. Tests use this for determinism.
 	NoBackground bool
+	// Mmap loads checkpointed ring files through read-only memory
+	// mappings (ring.View) instead of decoding them onto the heap, both
+	// at Open and when a checkpoint installs freshly written files. Load
+	// cost drops to rebuilding the o(n) rank/select directories and the
+	// bulk payload stays in the page cache, shared across processes.
+	Mmap bool
 }
 
 // DB is a durable dynamic store: a write-ahead log in front of a
@@ -62,12 +71,26 @@ type DB struct {
 	// never serialized itself.
 	//ringlint:derived
 	ringFiles map[*ring.Ring]ringRef
+	// regions maps view-loaded rings to their file mappings (Mmap mode
+	// only), by pointer identity; guarded by cpMu. The entry keeps ring
+	// and mapping alive together; once a ring leaves the map (its file
+	// superseded), a finalizer set in viewRingFile releases the mapping
+	// when the last snapshot lets go of the ring. Rebuilt at Open, never
+	// serialized.
+	//ringlint:derived
+	regions map[*ring.Ring]*mman.Region
 
 	kickCh chan struct{}
 	done   chan struct{}
 	wg     sync.WaitGroup
 
 	checkpoints atomic.Uint64
+	// lastInstallNanos is the duration of the last checkpoint's install
+	// phase: mapping freshly written ring files, swapping them into the
+	// store, and installing the manifest — everything after the O(new
+	// data) file writes. With Mmap it stays O(directories), which is the
+	// point of the zero-copy load path.
+	lastInstallNanos atomic.Int64
 	// Recovery observations, derived from replaying the WAL tail at Open —
 	// pure reporting state, never written back to disk.
 	//ringlint:derived
@@ -91,13 +114,21 @@ type Stats struct {
 	Compactions     uint64
 	Checkpoints     uint64
 	ManifestVersion uint64
-	WALFloor        uint64
-	WALSegments     int
-	WALSizeBytes    int64
-	WAL             WALStats
-	RecoveryBatches uint64
-	RecoveryOps     uint64
-	RecoveryTorn    bool
+	// Mmap reports whether the zero-copy load path is active;
+	// MappedRings/MappedBytes count the live file mappings, and
+	// LastInstallSeconds is the duration of the last checkpoint's
+	// install phase (map + swap + manifest, excluding file writes).
+	Mmap               bool
+	MappedRings        int
+	MappedBytes        int64
+	LastInstallSeconds float64
+	WALFloor           uint64
+	WALSegments        int
+	WALSizeBytes       int64
+	WAL                WALStats
+	RecoveryBatches    uint64
+	RecoveryOps        uint64
+	RecoveryTorn       bool
 }
 
 // Open opens (or creates) the data directory: load the manifest's
@@ -109,10 +140,11 @@ func Open(dir string, opt Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		dir:    dir,
-		opt:    opt,
-		kickCh: make(chan struct{}, 1),
-		done:   make(chan struct{}),
+		dir:     dir,
+		opt:     opt,
+		regions: make(map[*ring.Ring]*mman.Region),
+		kickCh:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
 	}
 
 	man, err := readManifest(dir)
@@ -130,7 +162,15 @@ func Open(dir string, opt Options) (*DB, error) {
 			return nil, fmt.Errorf("%w: dictionary smaller than manifest domains", ErrCorrupt)
 		}
 		for _, ref := range man.Rings {
-			r, err := readRingFile(dir, ref)
+			var r *ring.Ring
+			if opt.Mmap {
+				var reg *mman.Region
+				if r, reg, err = viewRingFile(dir, ref); err == nil {
+					db.regions[r] = reg
+				}
+			} else {
+				r, err = readRingFile(dir, ref)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -248,6 +288,30 @@ func readRingFile(dir string, ref ringRef) (*ring.Ring, error) {
 		return nil, fmt.Errorf("%w: %s holds %d triples, manifest says %d", ErrCorrupt, ref.Name, r.Len(), ref.Triples)
 	}
 	return r, nil
+}
+
+// viewRingFile maps a checkpointed ring file and view-loads it: the bulk
+// word payloads alias the mapping, only the rank/select directories are
+// rebuilt. The mapping's lifetime is tied to the ring with a finalizer,
+// so a query or pinned snapshot still iterating the ring after a
+// generation swap keeps the pages mapped until it lets go — the
+// refcounted unmap the live path relies on.
+func viewRingFile(dir string, ref ringRef) (*ring.Ring, *mman.Region, error) {
+	reg, err := mman.Map(filepath.Join(dir, ref.Name))
+	if err != nil {
+		return nil, nil, err
+	}
+	r, _, err := ring.View(reg.Bytes())
+	if err != nil {
+		reg.Release()
+		return nil, nil, fmt.Errorf("%s: %w", ref.Name, err)
+	}
+	if r.Len() != ref.Triples {
+		reg.Release()
+		return nil, nil, fmt.Errorf("%w: %s holds %d triples, manifest says %d", ErrCorrupt, ref.Name, r.Len(), ref.Triples)
+	}
+	runtime.SetFinalizer(r, func(*ring.Ring) { reg.Release() })
+	return r, reg, nil
 }
 
 // Close checkpoints, seals the WAL, and stops the background work. A
@@ -438,6 +502,11 @@ func (db *DB) checkpoint() error {
 	nextRing := db.man.NextRing
 	newRefs := make([]ringRef, 0, len(snap.Rings()))
 	newFiles := make(map[*ring.Ring]ringRef, len(snap.Rings()))
+	type writtenRing struct {
+		r   *ring.Ring
+		ref ringRef
+	}
+	var written []writtenRing
 	for _, r := range snap.Rings() {
 		if ref, ok := db.ringFiles[r]; ok {
 			newRefs = append(newRefs, ref)
@@ -453,6 +522,7 @@ func (db *DB) checkpoint() error {
 		ref := ringRef{Name: name, Triples: r.Len(), Bytes: n}
 		newRefs = append(newRefs, ref)
 		newFiles[r] = ref
+		written = append(written, writtenRing{r: r, ref: ref})
 	}
 	dictName := dictFileName(version)
 	dictBytes, err := writeFileSync(filepath.Join(db.dir, dictName), func(w io.Writer) (int64, error) {
@@ -463,6 +533,29 @@ func (db *DB) checkpoint() error {
 		return err
 	}
 
+	// Install phase: everything after the O(new data) file writes. In
+	// Mmap mode each freshly written ring file is mapped and view-loaded
+	// — no re-decode, only directory rebuilds — and swapped in for its
+	// heap-built twin, so the heap copy becomes collectable as soon as
+	// the last pinned snapshot drops it.
+	installStart := time.Now()
+	if db.opt.Mmap {
+		for _, wr := range written {
+			mr, reg, err := viewRingFile(db.dir, wr.ref)
+			if err != nil {
+				// The heap ring keeps serving; the mapping is only an
+				// optimization. The manifest still references the file.
+				continue
+			}
+			if db.store.ReplaceRing(wr.r, mr) {
+				delete(newFiles, wr.r)
+				newFiles[mr] = wr.ref
+				db.regions[mr] = reg
+			}
+			// Otherwise the ring was merged away while we wrote; the
+			// dropped mapped ring's finalizer releases the mapping.
+		}
+	}
 	m := &manifest{
 		Version:    version,
 		Generation: snap.Generation(),
@@ -479,6 +572,14 @@ func (db *DB) checkpoint() error {
 	}
 	db.man = m
 	db.ringFiles = newFiles
+	for r := range db.regions {
+		if _, ok := newFiles[r]; !ok {
+			// The ring left the store; dropping the map entry lets the
+			// GC collect ring + mapping once readers are done.
+			delete(db.regions, r)
+		}
+	}
+	db.lastInstallNanos.Store(int64(time.Since(installStart)))
 	db.checkpoints.Add(1)
 	db.gcLocked()
 	return nil
@@ -581,6 +682,11 @@ func (db *DB) Stats() Stats {
 	db.cpMu.Lock()
 	version := db.man.Version
 	floor := db.man.WALFloor
+	mappedRings := len(db.regions)
+	var mappedBytes int64
+	for _, reg := range db.regions {
+		mappedBytes += int64(reg.Len())
+	}
 	db.cpMu.Unlock()
 	segs, _ := listSegments(db.dir)
 	var segBytes int64
@@ -607,5 +713,10 @@ func (db *DB) Stats() Stats {
 		RecoveryBatches: db.recoveryBatches.Load(),
 		RecoveryOps:     db.recoveryOps.Load(),
 		RecoveryTorn:    db.tornTail.Load(),
+
+		Mmap:               db.opt.Mmap,
+		MappedRings:        mappedRings,
+		MappedBytes:        mappedBytes,
+		LastInstallSeconds: time.Duration(db.lastInstallNanos.Load()).Seconds(),
 	}
 }

@@ -1,0 +1,112 @@
+package persist
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/ring"
+)
+
+// openMmap opens a DB with the zero-copy load path active and thresholds
+// small enough that flushes produce real ring files.
+func openMmap(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := Open(dir, Options{MemtableThreshold: 8, MaxRings: 64, NoBackground: true, Mmap: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func insertN(t *testing.T, db *DB, prefix string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := db.InsertBatch([]dict.StringTriple{tr(fmt.Sprintf("%s%d", prefix, i), "p", "o")}, true); err != nil {
+			t.Fatalf("InsertBatch: %v", err)
+		}
+	}
+}
+
+// TestMmapCheckpointInstallsViews checks the near-free install property:
+// after a checkpoint in Mmap mode the store serves view-loaded rings
+// backed by file mappings, and a subsequent checkpoint leaves already
+// checkpointed rings untouched — the exact same *ring.Ring pointers stay
+// installed, proving they were not re-decoded.
+func TestMmapCheckpointInstallsViews(t *testing.T) {
+	dir := t.TempDir()
+	db := openMmap(t, dir)
+	defer db.Close()
+
+	insertN(t, db, "a", 20)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st := db.Stats()
+	if !st.Mmap {
+		t.Fatal("Stats.Mmap = false with Mmap option set")
+	}
+	if st.MappedRings == 0 || st.MappedBytes == 0 {
+		t.Fatalf("no mappings after checkpoint: %d rings, %d bytes", st.MappedRings, st.MappedBytes)
+	}
+	if st.LastInstallSeconds <= 0 {
+		t.Fatalf("LastInstallSeconds = %v, want > 0", st.LastInstallSeconds)
+	}
+	if got := countP(t, db, "p"); got != 20 {
+		t.Fatalf("after first checkpoint: count = %d, want 20", got)
+	}
+
+	gen1 := map[*ring.Ring]bool{}
+	for _, r := range db.Snapshot().Rings() {
+		gen1[r] = true
+	}
+	if len(gen1) == 0 {
+		t.Fatal("no rings in snapshot after checkpoint")
+	}
+
+	insertN(t, db, "b", 20)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("second Checkpoint: %v", err)
+	}
+	surviving := 0
+	for _, r := range db.Snapshot().Rings() {
+		if gen1[r] {
+			surviving++
+		}
+	}
+	if surviving == 0 {
+		t.Fatal("no first-generation ring pointer survived the second checkpoint: rings were re-decoded")
+	}
+	if got := countP(t, db, "p"); got != 40 {
+		t.Fatalf("after second checkpoint: count = %d, want 40", got)
+	}
+
+	st = db.Stats()
+	if st.MappedRings < surviving {
+		t.Fatalf("MappedRings = %d, fewer than %d surviving mapped rings", st.MappedRings, surviving)
+	}
+}
+
+// TestMmapReopenLoadsViews checks that Open in Mmap mode view-loads the
+// checkpointed rings instead of decoding them.
+func TestMmapReopenLoadsViews(t *testing.T) {
+	dir := t.TempDir()
+	db := openMmap(t, dir)
+	insertN(t, db, "a", 20)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	db2 := openMmap(t, dir)
+	defer db2.Close()
+	st := db2.Stats()
+	if !st.Mmap || st.MappedRings == 0 || st.MappedBytes == 0 {
+		t.Fatalf("reopened DB has no mappings: %+v", st)
+	}
+	if got := countP(t, db2, "p"); got != 20 {
+		t.Fatalf("reopened count = %d, want 20", got)
+	}
+}

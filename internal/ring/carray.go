@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/bits"
 	"repro/internal/bitvector"
 	"repro/internal/intvec"
 )
@@ -96,25 +97,25 @@ const (
 	cTagSparse = 2
 )
 
-// readCArray deserializes either representation.
-func readCArray(r io.Reader) (cArray, error) {
-	hdr, err := readU64s(r, 1)
+// decodeCArray deserializes either representation from any Source.
+func decodeCArray(src bits.Source) (cArray, error) {
+	hdr, err := src.U64s(1)
 	if err != nil {
 		return nil, err
 	}
 	switch hdr[0] {
 	case cTagPacked:
-		v, err := intvec.Read(r)
+		v, err := intvec.Decode(src)
 		if err != nil {
 			return nil, err
 		}
 		return packedC{v}, nil
 	case cTagSparse:
-		meta, err := readU64s(r, 1)
+		meta, err := src.U64s(1)
 		if err != nil {
 			return nil, err
 		}
-		d, err := bitvector.ReadSparse(r)
+		d, err := bitvector.DecodeSparse(src)
 		if err != nil {
 			return nil, err
 		}

@@ -37,6 +37,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/bits"
 	"repro/internal/graph"
 	"repro/internal/intvec"
 	"repro/internal/wavelet"
@@ -263,22 +264,38 @@ func (r *Ring) Triple(i int) graph.Triple {
 		panic(fmt.Sprintf("ring: Triple(%d) out of range [0,%d)", i, r.n))
 	}
 	o := r.cols[ZoneSPO].Access(i)
-	j := int(r.c[ZoneOSP].Get(int(o))) + r.cols[ZoneSPO].Rank(o, i)
+	j := r.lfPos(ZoneOSP, o, r.cols[ZoneSPO].Rank(o, i))
 	p := r.cols[ZoneOSP].Access(j)
-	k := int(r.c[ZonePOS].Get(int(p))) + r.cols[ZoneOSP].Rank(p, j)
+	k := r.lfPos(ZonePOS, p, r.cols[ZoneOSP].Rank(p, j))
 	s := r.cols[ZonePOS].Access(k)
 	return graph.Triple{S: graph.ID(s), P: graph.ID(p), O: graph.ID(o)}
+}
+
+// lfPos computes the LF-step target C[z][c] + rk, clamped into [0, n).
+// On a well-formed index the position is always in range; a corrupt
+// (viewed) payload can push it out, and Access would panic.
+//
+//ringlint:hotpath allow-dispatch -- C-array accesses dispatch on the packed/sparse representation
+func (r *Ring) lfPos(z Zone, c uint64, rk int) int {
+	j := rk
+	if int64(c) < int64(r.c[z].Len()) {
+		j += int(r.c[z].Get(int(c)))
+	}
+	if j < 0 || j >= r.n {
+		return 0
+	}
+	return j
 }
 
 // LFCycleCheck verifies Lemma 3.3 for rotation i of zone SPO: three
 // LF-steps return to i. It is exported for tests and diagnostics.
 func (r *Ring) LFCycleCheck(i int) bool {
 	o := r.cols[ZoneSPO].Access(i)
-	j := int(r.c[ZoneOSP].Get(int(o))) + r.cols[ZoneSPO].Rank(o, i)
+	j := r.lfPos(ZoneOSP, o, r.cols[ZoneSPO].Rank(o, i))
 	p := r.cols[ZoneOSP].Access(j)
-	k := int(r.c[ZonePOS].Get(int(p))) + r.cols[ZoneOSP].Rank(p, j)
+	k := r.lfPos(ZonePOS, p, r.cols[ZoneOSP].Rank(p, j))
 	s := r.cols[ZonePOS].Access(k)
-	back := int(r.c[ZoneSPO].Get(int(s))) + r.cols[ZonePOS].Rank(s, k)
+	back := r.lfPos(ZoneSPO, s, r.cols[ZonePOS].Rank(s, k))
 	return back == i
 }
 
@@ -337,7 +354,26 @@ func (r *Ring) WriteTo(w io.Writer) (int64, error) {
 
 // Read deserializes a ring written by WriteTo.
 func Read(rd io.Reader) (*Ring, error) {
-	hdr, err := readU64s(rd, 4)
+	return Decode(bits.NewReaderSource(rd, "ring"))
+}
+
+// View deserializes a ring from an in-memory buffer — typically a
+// memory-mapped index file. The bulk word payloads of every zone
+// (wavelet levels, C arrays) alias b when the host is little-endian and
+// b is 8-byte aligned; only the o(n) rank/select directories are rebuilt
+// on the heap. Returns the number of bytes consumed.
+func View(b []byte) (*Ring, int, error) {
+	src := bits.NewByteSource(b, "ring")
+	r, err := Decode(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r, src.Offset(), nil
+}
+
+// Decode deserializes a ring from any Source.
+func Decode(src bits.Source) (*Ring, error) {
+	hdr, err := src.U64s(4)
 	if err != nil {
 		return nil, err
 	}
@@ -352,10 +388,10 @@ func Read(rd io.Reader) (*Ring, error) {
 		return nil, errors.New("ring: corrupt header")
 	}
 	for z := Zone(0); z < 3; z++ {
-		if r.cols[z], err = wavelet.Read(rd); err != nil {
+		if r.cols[z], err = wavelet.Decode(src); err != nil {
 			return nil, fmt.Errorf("ring: zone %v column: %w", z, err)
 		}
-		if r.c[z], err = readCArray(rd); err != nil {
+		if r.c[z], err = decodeCArray(src); err != nil {
 			return nil, fmt.Errorf("ring: zone %v C array: %w", z, err)
 		}
 		if r.cols[z].Len() != r.n {
@@ -382,18 +418,4 @@ func writeU64s(w io.Writer, total *int64, vs ...uint64) error {
 	n, err := w.Write(buf)
 	*total += int64(n)
 	return err
-}
-
-func readU64s(r io.Reader, n int) ([]uint64, error) {
-	buf := make([]byte, 8*n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("ring: short read: %w", err)
-	}
-	vs := make([]uint64, n)
-	for i := range vs {
-		for j := 0; j < 8; j++ {
-			vs[i] |= uint64(buf[8*i+j]) << (8 * j)
-		}
-	}
-	return vs, nil
 }

@@ -18,16 +18,21 @@ import (
 
 // BenchmarkServe is an in-process load generator over the full HTTP
 // request path: it drives a fixed query mix through httptest at 1/4/16
-// concurrent clients with the result cache on and off, reporting
-// throughput and tail latency. `make bench-serve` writes the sweep to
-// BENCH_serve.json via the BENCH_SERVE_JSON hook in TestMain.
+// concurrent clients with the result cache on and off, at GOMAXPROCS 1
+// and 4, reporting throughput and tail latency. `make bench-serve`
+// writes the sweep to BENCH_serve.json via the BENCH_SERVE_JSON hook in
+// TestMain.
 func BenchmarkServe(b *testing.B) {
-	for _, clients := range []int{1, 4, 16} {
-		for _, cache := range []bool{true, false} {
-			name := fmt.Sprintf("clients=%d/cache=%v", clients, cache)
-			b.Run(name, func(b *testing.B) {
-				benchServe(b, clients, cache)
-			})
+	for _, procs := range []int{1, 4} {
+		for _, clients := range []int{1, 4, 16} {
+			for _, cache := range []bool{true, false} {
+				name := fmt.Sprintf("procs=%d/clients=%d/cache=%v", procs, clients, cache)
+				b.Run(name, func(b *testing.B) {
+					prev := runtime.GOMAXPROCS(procs)
+					defer runtime.GOMAXPROCS(prev)
+					benchServe(b, procs, clients, cache)
+				})
+			}
 		}
 	}
 }
@@ -50,7 +55,7 @@ func benchMix() []QueryRequest {
 	return mix
 }
 
-func benchServe(b *testing.B, clients int, cache bool) {
+func benchServe(b *testing.B, procs, clients int, cache bool) {
 	cfg := Config{
 		Store:         heavyStore(b),
 		AccessLog:     io.Discard,
@@ -131,6 +136,7 @@ func benchServe(b *testing.B, clients int, cache bool) {
 	b.ReportMetric(float64(p99)/1e6, "p99-ms")
 
 	recordServeBench(serveBenchResult{
+		Procs:    procs,
 		Clients:  clients,
 		Cache:    cache,
 		Requests: b.N,
@@ -154,6 +160,7 @@ func round3(f float64) float64 {
 
 // serveBenchResult is one row of BENCH_serve.json.
 type serveBenchResult struct {
+	Procs    int     `json:"gomaxprocs"`
 	Clients  int     `json:"clients"`
 	Cache    bool    `json:"cache"`
 	Requests int     `json:"requests"`
@@ -174,7 +181,7 @@ func recordServeBench(r serveBenchResult) {
 	serveBenchMu.Lock()
 	defer serveBenchMu.Unlock()
 	for i, old := range serveBenchResults {
-		if old.Clients == r.Clients && old.Cache == r.Cache {
+		if old.Procs == r.Procs && old.Clients == r.Clients && old.Cache == r.Cache {
 			if r.Requests >= old.Requests {
 				serveBenchResults[i] = r
 			}
@@ -191,21 +198,19 @@ func TestMain(m *testing.M) {
 	code := m.Run()
 	if path := os.Getenv("BENCH_SERVE_JSON"); path != "" && len(serveBenchResults) > 0 {
 		out := struct {
-			Workload   string             `json:"workload"`
-			Triples    int                `json:"triples"`
-			QueryMix   int                `json:"query_mix"`
-			GOMAXPROCS int                `json:"gomaxprocs"`
-			NumCPU     int                `json:"num_cpu"`
-			Note       string             `json:"note"`
-			Results    []serveBenchResult `json:"results"`
+			Workload string             `json:"workload"`
+			Triples  int                `json:"triples"`
+			QueryMix int                `json:"query_mix"`
+			NumCPU   int                `json:"num_cpu"`
+			Note     string             `json:"note"`
+			Results  []serveBenchResult `json:"results"`
 		}{
-			Workload:   "selective 2-pattern joins over a 20k-triple random graph, full HTTP path",
-			Triples:    heavySt.Len(),
-			QueryMix:   len(benchMix()),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			NumCPU:     runtime.NumCPU(),
-			Note:       "in-process httptest transport; cache=true serves the mix from the result cache after one warm pass",
-			Results:    serveBenchResults,
+			Workload: "selective 2-pattern joins over a 20k-triple random graph, full HTTP path",
+			Triples:  heavySt.Len(),
+			QueryMix: len(benchMix()),
+			NumCPU:   runtime.NumCPU(),
+			Note:     "in-process httptest transport; GOMAXPROCS swept per row; cache=true serves the mix from the result cache after one warm pass",
+			Results:  serveBenchResults,
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err == nil {

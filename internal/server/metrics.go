@@ -145,6 +145,13 @@ func writeGauge(w io.Writer, name, help string, g *gauge) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, g.value())
 }
 
+// writeFloatGauge renders a float-valued gauge (durations in seconds);
+// the server's gauge type is integer, so the handful of float series are
+// rendered from their source values at scrape time instead.
+func writeFloatGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
 func writeHistogram(w io.Writer, name, help string, h *histogram) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	cum := int64(0)

@@ -132,9 +132,27 @@ type Server struct {
 	live       atomic.Pointer[persist.DB] // set instead of store in live mode
 	liveWanted atomic.Bool                // live mode intended; recovery may still be running
 	indexStats atomic.Pointer[ring.Stats]
+	loadInfo   atomic.Pointer[LoadInfo]
 	ready      atomic.Bool
 	draining   atomic.Bool
 }
+
+// LoadInfo records how the index got into memory. The loader
+// (cmd/ringserve) sets it once after the initial load; /metrics and
+// /stats report the mode, mapped footprint and startup load time from
+// it. In live mode the mapped footprint evolves with checkpoints, so
+// scrape-time values come from persist.Stats instead and LoadInfo
+// contributes only the mode and initial load time.
+type LoadInfo struct {
+	Mode        string  // "decode" or "mmap"
+	BytesMapped int64   // bytes aliased from file mappings (0 in decode mode)
+	Regions     int     // file mappings backing the index
+	Seconds     float64 // wall-clock time of the initial load
+}
+
+// SetLoadInfo publishes how the index was loaded; safe to call before or
+// after SetStore/SetLive and at most once per process in practice.
+func (s *Server) SetLoadInfo(info LoadInfo) { s.loadInfo.Store(&info) }
 
 // New builds a server. If cfg.Store is non-nil it is installed (and
 // self-checked) immediately; otherwise the server starts not-ready and
@@ -258,8 +276,50 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.writeProm(w, cs)
+	var pst *persist.Stats
 	if db := s.live.Load(); db != nil {
-		writePersistProm(w, db.Stats())
+		st := db.Stats()
+		pst = &st
+		writePersistProm(w, st)
+	}
+	s.writeLoadProm(w, pst)
+}
+
+// writeLoadProm renders the index-load series: load mode and startup
+// latency from the one-time LoadInfo record, and the mapped footprint —
+// which in live mode changes with every checkpoint — from the current
+// persist stats when available.
+func (s *Server) writeLoadProm(w io.Writer, pst *persist.Stats) {
+	li := s.loadInfo.Load()
+	if li == nil && pst == nil {
+		return
+	}
+	mode := "decode"
+	var bytesMapped int64
+	var loadSecs float64
+	if li != nil {
+		mode = li.Mode
+		bytesMapped = li.BytesMapped
+		loadSecs = li.Seconds
+	}
+	if pst != nil {
+		if pst.Mmap {
+			mode = "mmap"
+		}
+		bytesMapped = pst.MappedBytes
+	}
+	writeFloatGauge(w, "ringserve_index_load_seconds", "Wall-clock seconds of the initial index load.", loadSecs)
+	writeGaugeValue(w, "ringserve_index_bytes_mapped", "Bytes of index data backed by file mappings (0 in decode mode).", bytesMapped)
+	fmt.Fprintf(w, "# HELP ringserve_index_load_mode Index load mode; the active mode has value 1.\n# TYPE ringserve_index_load_mode gauge\n")
+	for _, m := range []string{"decode", "mmap"} {
+		v := 0
+		if m == mode {
+			v = 1
+		}
+		fmt.Fprintf(w, "ringserve_index_load_mode{mode=%q} %d\n", m, v)
+	}
+	if pst != nil {
+		writeFloatGauge(w, "ringserve_snapshot_install_seconds", "Install phase of the last checkpoint: map (or keep) new rings, swap them in, install the manifest.", pst.LastInstallSeconds)
 	}
 }
 
@@ -277,6 +337,43 @@ type statsResponse struct {
 	// Persist is present in live mode only: durability and ingestion
 	// state of the backing data directory.
 	Persist *persistStatsJSON `json:"persist,omitempty"`
+	// Mapped is present once load info is recorded: how the index got
+	// into memory and the current file-mapped footprint.
+	Mapped *mappedStatsJSON `json:"mapped,omitempty"`
+}
+
+// mappedStatsJSON is the "mapped" section of GET /stats.
+type mappedStatsJSON struct {
+	Mode               string  `json:"mode"` // "decode" or "mmap"
+	BytesMapped        int64   `json:"bytes_mapped"`
+	Regions            int     `json:"regions"`
+	LoadSeconds        float64 `json:"load_seconds"`
+	LastInstallSeconds float64 `json:"last_install_seconds,omitempty"`
+}
+
+// mappedStats mirrors writeLoadProm's source precedence: static mode
+// reports the one-time load record, live mode the current footprint.
+func (s *Server) mappedStats(pst *persist.Stats) *mappedStatsJSON {
+	li := s.loadInfo.Load()
+	if li == nil && pst == nil {
+		return nil
+	}
+	out := &mappedStatsJSON{Mode: "decode"}
+	if li != nil {
+		out.Mode = li.Mode
+		out.BytesMapped = li.BytesMapped
+		out.Regions = li.Regions
+		out.LoadSeconds = li.Seconds
+	}
+	if pst != nil {
+		if pst.Mmap {
+			out.Mode = "mmap"
+		}
+		out.BytesMapped = pst.MappedBytes
+		out.Regions = pst.MappedRings
+		out.LastInstallSeconds = pst.LastInstallSeconds
+	}
+	return out
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -288,6 +385,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Persist:  persistStats(db),
 		}
 		resp.IndexBytes = db.Snapshot().SizeBytes()
+		pst := db.Stats()
+		resp.Mapped = s.mappedStats(&pst)
 		if s.cache != nil {
 			resp.Cache = s.cache.stats()
 		}
@@ -308,6 +407,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IndexBytes:         st.SizeBytes(),
 		Ready:              s.ready.Load() && !s.draining.Load(),
 		Draining:           s.draining.Load(),
+		Mapped:             s.mappedStats(nil),
 	}
 	if s.cache != nil {
 		resp.Cache = s.cache.stats()

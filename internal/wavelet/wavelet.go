@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/bits"
 	"repro/internal/bitvector"
 )
 
@@ -179,6 +180,14 @@ func (m *Matrix) Access(i int) uint64 {
 			i = m.zeros[l] + m.rank1(l, i)
 		} else {
 			i -= m.rank1(l, i) // rank0
+		}
+		// On a well-formed matrix i stays in [0, n); a corrupt (viewed)
+		// compressed level can return ranks inconsistent with its bits,
+		// and the next level's get would panic.
+		if i >= m.n {
+			i = m.n - 1
+		} else if i < 0 {
+			i = 0
 		}
 	}
 	if ringdebugEnabled {
@@ -492,7 +501,24 @@ func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 
 // Read deserializes a matrix written by WriteTo.
 func Read(r io.Reader) (*Matrix, error) {
-	hdr, err := readU64s(r, 4)
+	return Decode(bits.NewReaderSource(r, "wavelet"))
+}
+
+// View deserializes a matrix from an in-memory buffer, aliasing each
+// level's word payload when possible. Returns the number of bytes
+// consumed.
+func View(b []byte) (*Matrix, int, error) {
+	src := bits.NewByteSource(b, "wavelet")
+	m, err := Decode(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, src.Offset(), nil
+}
+
+// Decode deserializes a matrix from any Source.
+func Decode(src bits.Source) (*Matrix, error) {
+	hdr, err := src.U64s(4)
 	if err != nil {
 		return nil, err
 	}
@@ -503,10 +529,19 @@ func Read(r io.Reader) (*Matrix, error) {
 	if m.n < 0 || m.width < 1 || m.width > 64 {
 		return nil, fmt.Errorf("wavelet: corrupt header (n=%d width=%d)", m.n, m.width)
 	}
+	// New derives width from sigma; a corrupt sigma that breaks the
+	// relation would mis-split symbols across levels.
+	wantWidth := uint(1)
+	if m.sigma > 1 {
+		wantWidth = lenBits(m.sigma - 1)
+	}
+	if m.sigma == 0 || wantWidth != m.width {
+		return nil, fmt.Errorf("wavelet: sigma %d inconsistent with %d levels", m.sigma, m.width)
+	}
 	levels := make([]bitvector.Vector, m.width)
 	m.zeros = make([]int, m.width)
 	for l := uint(0); l < m.width; l++ {
-		meta, err := readU64s(r, 2)
+		meta, err := src.U64s(2)
 		if err != nil {
 			return nil, err
 		}
@@ -516,13 +551,13 @@ func Read(r io.Reader) (*Matrix, error) {
 		m.zeros[l] = int(meta[0])
 		switch meta[1] {
 		case tagPlain:
-			v, err := bitvector.ReadPlain(r)
+			v, err := bitvector.DecodePlain(src)
 			if err != nil {
 				return nil, err
 			}
 			levels[l] = v
 		case tagRRR:
-			v, err := bitvector.ReadRRR(r)
+			v, err := bitvector.DecodeRRR(src)
 			if err != nil {
 				return nil, err
 			}
@@ -532,6 +567,12 @@ func Read(r io.Reader) (*Matrix, error) {
 		}
 		if levels[l].Len() != m.n {
 			return nil, errors.New("wavelet: level length mismatch")
+		}
+		// Access positions stay in [0, n) only when zeros[l] is exactly
+		// the level's zero count: i = zeros[l] + rank1(l, i) ≤ n-1 holds
+		// because zeros[l] + ones[l] == n.
+		if m.zeros[l] != m.n-levels[l].Ones() {
+			return nil, errors.New("wavelet: zeros directory inconsistent with level")
 		}
 	}
 	m.setLevels(levels)
@@ -551,18 +592,4 @@ func writeU64s(w io.Writer, total *int64, vs ...uint64) error {
 	n, err := w.Write(buf)
 	*total += int64(n)
 	return err
-}
-
-func readU64s(r io.Reader, n int) ([]uint64, error) {
-	buf := make([]byte, 8*n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("wavelet: short read: %w", err)
-	}
-	vs := make([]uint64, n)
-	for i := range vs {
-		for j := 0; j < 8; j++ {
-			vs[i] |= uint64(buf[8*i+j]) << (8 * j)
-		}
-	}
-	return vs, nil
 }

@@ -4,8 +4,10 @@
 # race-detector lane (~4m on a single-CPU container), a
 # compile-and-smoke pass over every benchmark (one iteration each), the
 # end-to-end ringserve smoke (query, overload shedding, SIGTERM drain),
-# and the live-update persistence smoke (insert, SIGKILL, WAL recovery,
-# checkpointed drain). Equivalent to `make check`; kept as a script for
+# the live-update persistence smoke (insert, SIGKILL, WAL recovery,
+# checkpointed drain), and the zero-copy mmap smoke (layout inspection,
+# decode-vs-mmap differential serving, live mode with view-loaded
+# checkpoints). Equivalent to `make check`; kept as a script for
 # environments without make.
 set -eu
 cd "$(dirname "$0")/.."
@@ -44,5 +46,8 @@ sh scripts/serve_smoke.sh
 
 echo "== persist smoke (live updates: insert, SIGKILL, recover, checkpoint)"
 sh scripts/persist_smoke.sh
+
+echo "== mmap smoke (zero-copy load: layout, decode-vs-mmap differential, live views)"
+sh scripts/mmap_smoke.sh
 
 echo "all checks passed"

@@ -367,16 +367,27 @@ func (s *Store) Reach(src, path string) ([]string, error) {
 	return out, nil
 }
 
+// storePadFlag marks the high bit of the store header's dictionary
+// length when the dictionary section is zero-padded to a multiple of 8
+// bytes. Padding keeps the ring section 8-byte aligned within the file,
+// which is what lets ViewStore alias the ring's word payloads straight
+// out of a memory mapping. Files written before the flag existed (no
+// padding, arbitrary alignment) remain readable: ViewStore falls back to
+// copying the words and ReadStore never cared.
+const storePadFlag = uint64(1) << 63
+
 // WriteTo serializes the store: a length-prefixed dictionary section
 // followed by the ring. The length prefix lets the reader consume the
-// dictionary exactly, regardless of its internal buffering.
+// dictionary exactly, regardless of its internal buffering; the section
+// is padded so the ring starts 8-byte aligned (see storePadFlag).
 func (s *Store) WriteTo(w io.Writer) (int64, error) {
 	var dbuf bytes.Buffer
 	if _, err := s.dict.WriteTo(&dbuf); err != nil {
 		return 0, err
 	}
+	pad := (8 - dbuf.Len()%8) % 8
 	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(dbuf.Len()))
+	binary.LittleEndian.PutUint64(hdr[:], uint64(dbuf.Len())|storePadFlag)
 	n := int64(0)
 	k, err := w.Write(hdr[:])
 	n += int64(k)
@@ -385,6 +396,12 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 	}
 	k2, err := w.Write(dbuf.Bytes())
 	n += int64(k2)
+	if err != nil {
+		return n, err
+	}
+	var zeros [8]byte
+	k3, err := w.Write(zeros[:pad])
+	n += int64(k3)
 	if err != nil {
 		return n, err
 	}
@@ -398,7 +415,8 @@ func ReadStore(r io.Reader) (*Store, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("wcoring: short store header: %w", err)
 	}
-	dictLen := binary.LittleEndian.Uint64(hdr[:])
+	raw := binary.LittleEndian.Uint64(hdr[:])
+	dictLen := raw &^ storePadFlag
 	if dictLen > 1<<40 {
 		return nil, errors.New("wcoring: implausible dictionary size")
 	}
@@ -412,11 +430,86 @@ func ReadStore(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	if raw&storePadFlag != 0 {
+		pad := (8 - dictLen%8) % 8
+		if n, err := io.CopyN(io.Discard, r, int64(pad)); err != nil || uint64(n) != pad {
+			return nil, fmt.Errorf("wcoring: short dictionary padding: %w", err)
+		}
+	}
 	rg, err := ring.Read(r)
 	if err != nil {
 		return nil, err
 	}
 	return &Store{dict: d, ring: rg, n: rg.Len()}, nil
+}
+
+// ViewStore deserializes a store from an in-memory buffer, typically a
+// memory-mapped index file. The dictionary's term strings alias b and
+// its encode-side maps are deferred to the first query with a constant
+// (dict.View); the ring's bulk word payloads alias b whenever the ring
+// section is 8-byte aligned — which every file written by the current
+// WriteTo guarantees via dictionary padding. Unpadded legacy files still
+// load, falling back to copying the ring words.
+//
+// b must stay valid (mapped, unmodified) for the lifetime of the
+// returned Store.
+func ViewStore(b []byte) (*Store, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("wcoring: short store header: %w", io.ErrUnexpectedEOF)
+	}
+	raw := binary.LittleEndian.Uint64(b)
+	dictLen := raw &^ storePadFlag
+	if dictLen > 1<<40 {
+		return nil, errors.New("wcoring: implausible dictionary size")
+	}
+	off := uint64(8) + dictLen
+	if raw&storePadFlag != 0 {
+		off += (8 - dictLen%8) % 8
+	}
+	if off > uint64(len(b)) {
+		return nil, fmt.Errorf("wcoring: short dictionary section: %w", io.ErrUnexpectedEOF)
+	}
+	d, err := dict.View(b[8 : 8+dictLen])
+	if err != nil {
+		return nil, err
+	}
+	rg, _, err := ring.View(b[off:])
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dict: d, ring: rg, n: rg.Len()}, nil
+}
+
+// StoreLayout describes the byte layout of a serialized store, for
+// tooling that reports whether a file can be loaded zero-copy.
+type StoreLayout struct {
+	DictBytes  int64 // dictionary section length (excluding padding)
+	PadBytes   int   // zero padding after the dictionary section
+	RingOffset int64 // byte offset of the ring section
+	Padded     bool  // written with the dict-padding flag (current format)
+	Aligned    bool  // ring section starts on an 8-byte boundary
+}
+
+// ReadStoreLayout parses just the store header of b (a full file is not
+// required; 8 bytes suffice).
+func ReadStoreLayout(b []byte) (StoreLayout, error) {
+	if len(b) < 8 {
+		return StoreLayout{}, fmt.Errorf("wcoring: short store header: %w", io.ErrUnexpectedEOF)
+	}
+	raw := binary.LittleEndian.Uint64(b)
+	dictLen := raw &^ storePadFlag
+	if dictLen > 1<<40 {
+		return StoreLayout{}, errors.New("wcoring: implausible dictionary size")
+	}
+	l := StoreLayout{DictBytes: int64(dictLen), Padded: raw&storePadFlag != 0}
+	off := uint64(8) + dictLen
+	if l.Padded {
+		l.PadBytes = int((8 - dictLen%8) & 7)
+		off += uint64(l.PadBytes)
+	}
+	l.RingOffset = int64(off)
+	l.Aligned = off%8 == 0
+	return l, nil
 }
 
 // ParseTSV reads "s p o" lines into string triples.
