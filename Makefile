@@ -18,8 +18,12 @@
 #                         (bits, bitvector, wavelet, ring Leap/Bind);
 #                         benchstat-friendly: set BENCH_COUNT>=10 to compare
 #   make bench-serve      the ringserve load-generator sweep (GOMAXPROCS
-#                         1/4 x 1/4/16 clients x cache on/off), writing
+#                         1/4 x 1/4/16 clients x cache on/off, plus the
+#                         shared-scan 2-core hot-set mix), writing
 #                         BENCH_serve.json
+#   make bench-batch      batched-vs-scalar leapfrog on the adversarial
+#                         run workloads (dense runs, sparse tails,
+#                         selective joins), writing BENCH_batch_leap.json
 #   make bench-mmap-load  cold-start load comparison, decode vs mmap
 #                         (wall + peak RSS, fresh process per run),
 #                         writing BENCH_mmap_load.json
@@ -31,15 +35,18 @@
 #   make mmap-smoke       end-to-end zero-copy smoke: ringstats layout,
 #                         decode-vs-mmap differential serving across a
 #                         restart, live mode with view-loaded checkpoints
+#   make race-batch  batched lane (wavelet/ring/ltj) under -race with the
+#               ringdebug assertions enabled
 #   make check  fmt + vet + lint + build + test + test-debug + race +
-#               bench-smoke + serve-smoke + persist-smoke + mmap-smoke
+#               race-batch + bench-smoke + bench-batch + serve-smoke +
+#               persist-smoke + mmap-smoke
 
 GO ?= go
 BENCH_COUNT ?= 1
 
-.PHONY: check fmt vet lint build test test-debug race bench bench-smoke bench-substrate bench-serve bench-mmap-load serve-smoke persist-smoke mmap-smoke
+.PHONY: check fmt vet lint build test test-debug race race-batch bench bench-smoke bench-substrate bench-serve bench-batch bench-mmap-load serve-smoke persist-smoke mmap-smoke
 
-check: fmt vet lint build test test-debug race bench-smoke serve-smoke persist-smoke mmap-smoke
+check: fmt vet lint build test test-debug race race-batch bench-smoke bench-batch serve-smoke persist-smoke mmap-smoke
 
 fmt:
 	@unformatted=$$(gofmt -s -l .); \
@@ -65,6 +72,12 @@ test-debug:
 race:
 	$(GO) test -race ./...
 
+# Batched lane under the race detector with the ringdebug assertions on:
+# the radix-intersection descents and shared-scan grouping run with both
+# their invariant checks and concurrency instrumentation.
+race-batch:
+	$(GO) test -race -tags ringdebug ./internal/wavelet ./internal/ring ./internal/ltj
+
 bench:
 	$(GO) test . -run XXX -bench 'BenchmarkParallelLTJ' -benchtime 1x
 
@@ -78,6 +91,10 @@ bench-substrate:
 bench-serve:
 	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json \
 		$(GO) test -run '^$$' -bench BenchmarkServe -benchtime 2s ./internal/server
+
+bench-batch:
+	BENCH_BATCH_JSON=$(CURDIR)/BENCH_batch_leap.json \
+		$(GO) test -run TestRecordBatchLeapBench ./internal/ring
 
 bench-mmap-load:
 	$(GO) run ./cmd/benchload -json $(CURDIR)/BENCH_mmap_load.json

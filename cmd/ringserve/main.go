@@ -75,6 +75,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 256, "result-cache entry bound (negative disables the cache)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache approximate byte bound")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "hard deadline for in-flight queries after SIGTERM")
+	noSharedScan := flag.Bool("no-shared-scan", false, "disable shared-scan batching of identical concurrent cache-miss queries")
 	flag.Parse()
 	if (*index == "") == (*dataDir == "") {
 		fmt.Fprintln(os.Stderr, "ringserve: exactly one of -index or -data-dir is required")
@@ -86,16 +87,17 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		MaxConcurrent:  *maxConcurrent,
-		MaxQueue:       *maxQueue,
-		QueueWait:      *queueWait,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		DefaultLimit:   *limit,
-		MaxLimit:       *maxLimit,
-		Parallelism:    *parallel,
-		CacheEntries:   *cacheEntries,
-		CacheBytes:     *cacheBytes,
+		MaxConcurrent:     *maxConcurrent,
+		MaxQueue:          *maxQueue,
+		QueueWait:         *queueWait,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		DefaultLimit:      *limit,
+		MaxLimit:          *maxLimit,
+		Parallelism:       *parallel,
+		CacheEntries:      *cacheEntries,
+		CacheBytes:        *cacheBytes,
+		DisableSharedScan: *noSharedScan,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,242 @@
+package ltj
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ring"
+	"repro/internal/testutil"
+)
+
+// sameOrderedSolutions asserts byte-identical solution streams: same
+// length, same bindings, same order. The sequential batched lane emits
+// candidates in exactly the scalar seek loop's order, so unlike the
+// parallel comparison no multiset canonicalization is allowed here.
+func sameOrderedSolutions(got, want []graph.Binding, vars []string) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("got %d solutions, want %d", len(got), len(want))
+	}
+	for i := range got {
+		for _, v := range vars {
+			gv, gok := got[i][v]
+			wv, wok := want[i][v]
+			if gok != wok || gv != wv {
+				return fmt.Sprintf("solution %d differs on %q: got %v want %v", i, v, got[i], want[i])
+			}
+		}
+	}
+	return ""
+}
+
+// batchedGraph is dense enough that constant-anchored patterns carry
+// ranges above the default threshold, so the lane actually engages.
+func batchedGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return testutil.RandomGraph(rng, 5000, 60, 3)
+}
+
+// TestBatchedMatchesSequential is the engine-level differential test of
+// the batched lane (DESIGN.md §13): with the threshold forced to 1 the
+// batched engine must produce byte-identical ordered results to the
+// scalar engine (DisableBatch) on random patterns of every shape —
+// including repeated-variable patterns, where the lane must decline —
+// and the same multiset as the parallel engine.
+func TestBatchedMatchesSequential(t *testing.T) {
+	g := batchedGraph(81)
+	idx := ringIndex(g, ring.Options{})
+	rng := rand.New(rand.NewSource(82))
+	descents := 0
+	for trial := 0; trial < 50; trial++ {
+		nt := 1 + rng.Intn(4)
+		nv := 1 + rng.Intn(4)
+		q := testutil.RandomPattern(rng, g, nt, nv, 0.3, trial%5 == 0)
+		scalar, err := Evaluate(idx, q, Options{DisableBatch: true})
+		if err != nil {
+			t.Fatalf("trial %d scalar %v: %v", trial, q, err)
+		}
+		for _, opt := range []Options{
+			{BatchThreshold: 1},
+			{}, // default threshold
+		} {
+			batched, err := Evaluate(idx, q, opt)
+			if err != nil {
+				t.Fatalf("trial %d batched %v: %v", trial, q, err)
+			}
+			if diff := sameOrderedSolutions(batched.Solutions, scalar.Solutions, q.Vars()); diff != "" {
+				t.Fatalf("trial %d query %v (threshold %d): %s", trial, q, opt.BatchThreshold, diff)
+			}
+			descents += batched.Stats.BatchDescents
+		}
+		par, err := Evaluate(idx, q, Options{BatchThreshold: 1, Parallelism: 4})
+		if err != nil {
+			t.Fatalf("trial %d parallel %v: %v", trial, q, err)
+		}
+		if diff := testutil.SameSolutions(par.Solutions, scalar.Solutions, q.Vars()); diff != "" {
+			t.Fatalf("trial %d parallel query %v: %s", trial, q, diff)
+		}
+	}
+	if descents == 0 {
+		t.Fatal("batched lane never engaged across 50 trials — differential test is vacuous")
+	}
+}
+
+// TestBatchedLimit: with a Limit the batched stream must be the same
+// prefix the scalar stream produces (same order ⇒ same prefix).
+func TestBatchedLimit(t *testing.T) {
+	g := batchedGraph(83)
+	idx := ringIndex(g, ring.Options{})
+	q := graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Const(0), graph.Var("y")),
+		graph.TP(graph.Var("x"), graph.Const(1), graph.Var("z")),
+	}
+	full, err := Evaluate(idx, q, Options{DisableBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{1, 7, 50} {
+		lim, err := Evaluate(idx, q, Options{BatchThreshold: 1, Limit: limit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full.Solutions
+		if len(want) > limit {
+			want = want[:limit]
+		}
+		if diff := sameOrderedSolutions(lim.Solutions, want, q.Vars()); diff != "" {
+			t.Fatalf("limit %d: %s", limit, diff)
+		}
+	}
+}
+
+// TestBatchedTimeoutPartial: a timeout mid-run surfaces as TimedOut with
+// the solutions found so far — a prefix of the full batched stream.
+func TestBatchedTimeoutPartial(t *testing.T) {
+	g := batchedGraph(84)
+	idx := ringIndex(g, ring.Options{})
+	q := graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Const(0), graph.Var("y")),
+		graph.TP(graph.Var("x"), graph.Const(1), graph.Var("z")),
+		graph.TP(graph.Var("y"), graph.Const(2), graph.Var("w")),
+	}
+	full, err := Evaluate(idx, q, Options{BatchThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := Evaluate(idx, q, Options{BatchThreshold: 1, Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.TimedOut {
+		t.Skip("evaluation finished within a nanosecond; nothing to assert")
+	}
+	if len(part.Solutions) > len(full.Solutions) {
+		t.Fatalf("timed-out run produced %d solutions, full run %d", len(part.Solutions), len(full.Solutions))
+	}
+	if diff := sameOrderedSolutions(part.Solutions, full.Solutions[:len(part.Solutions)], q.Vars()); diff != "" {
+		t.Fatalf("timed-out solutions are not a prefix of the full stream: %s", diff)
+	}
+}
+
+// TestBatchedContextCancel: cancellation inside the batched descent
+// surfaces as ErrCancelled wrapping the context error.
+func TestBatchedContextCancel(t *testing.T) {
+	g := batchedGraph(85)
+	idx := ringIndex(g, ring.Options{})
+	q := graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Const(0), graph.Var("y")),
+		graph.TP(graph.Var("x"), graph.Const(1), graph.Var("z")),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Evaluate(idx, q, Options{BatchThreshold: 1, Context: ctx})
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: err = %v, want ErrCancelled wrapping context.Canceled", err)
+	}
+	// Parallel mode composes with the batched producer the same way.
+	_, err = Evaluate(idx, q, Options{BatchThreshold: 1, Parallelism: 4, Context: ctx})
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel pre-cancelled context: err = %v", err)
+	}
+}
+
+// TestBatchedLaneEngagement pins when the lane runs: it must engage on a
+// dense 2-pattern join variable, stay off under DisableBatch, and fall
+// back to scalar leaps for single-pattern variables.
+func TestBatchedLaneEngagement(t *testing.T) {
+	g := batchedGraph(86)
+	idx := ringIndex(g, ring.Options{})
+	join := graph.Pattern{
+		graph.TP(graph.Var("x"), graph.Const(0), graph.Var("y")),
+		graph.TP(graph.Var("x"), graph.Const(1), graph.Var("z")),
+	}
+	on, err := Evaluate(idx, join, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Stats.BatchDescents == 0 || on.Stats.BatchEmits == 0 {
+		t.Fatalf("batched lane did not engage on a dense join: %+v", on.Stats)
+	}
+	off, err := Evaluate(idx, join, Options{DisableBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Stats.BatchDescents != 0 || off.Stats.BatchEmits != 0 {
+		t.Fatalf("DisableBatch still recorded batched work: %+v", off.Stats)
+	}
+	if off.Stats.Seeks == 0 {
+		t.Fatalf("scalar lane recorded no seeks: %+v", off.Stats)
+	}
+	// A single-pattern (lonely) variable never batches.
+	lonely := graph.Pattern{graph.TP(graph.Const(g.Triples()[0].S), graph.Var("p"), graph.Var("o"))}
+	res, err := Evaluate(idx, lonely, Options{BatchThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BatchDescents != 0 {
+		t.Fatalf("batched lane engaged on a single-pattern variable: %+v", res.Stats)
+	}
+}
+
+// FuzzBatchedLTJ fuzzes the differential property: for an arbitrary
+// (graph seed, pattern shape) the batched engine agrees with the scalar
+// engine ordered-exactly and with the parallel engine as a multiset.
+func FuzzBatchedLTJ(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(2), uint8(40))
+	f.Add(int64(7), uint8(3), uint8(3), uint8(10))
+	f.Add(int64(99), uint8(4), uint8(4), uint8(90))
+	f.Add(int64(-5), uint8(1), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nt, nv, sel uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 400+rng.Intn(800), graph.ID(10+rng.Intn(50)), graph.ID(1+rng.Intn(4)))
+		idx := ringIndex(g, ring.Options{})
+		// Floor pConst at 0.1: numVars=1 with pConst=0 and no repeats
+		// allowed makes RandomPattern spin forever (every candidate is
+		// (?v0, ·, ?v0)).
+		q := testutil.RandomPattern(rng, g, 1+int(nt%4), 1+int(nv%4), 0.1+float64(sel%85)/100, seed%3 == 0)
+		scalar, err := Evaluate(idx, q, Options{DisableBatch: true, Limit: 2000})
+		if err != nil {
+			t.Fatalf("scalar %v: %v", q, err)
+		}
+		batched, err := Evaluate(idx, q, Options{BatchThreshold: 1, Limit: 2000})
+		if err != nil {
+			t.Fatalf("batched %v: %v", q, err)
+		}
+		if diff := sameOrderedSolutions(batched.Solutions, scalar.Solutions, q.Vars()); diff != "" {
+			t.Fatalf("query %v: %s", q, diff)
+		}
+		par, err := Evaluate(idx, q, Options{BatchThreshold: 1, Parallelism: 2})
+		if err != nil {
+			t.Fatalf("parallel %v: %v", q, err)
+		}
+		if len(scalar.Solutions) < 2000 { // Limit hit ⇒ multisets may differ
+			if diff := testutil.SameSolutions(par.Solutions, scalar.Solutions, q.Vars()); diff != "" {
+				t.Fatalf("parallel query %v: %s", q, diff)
+			}
+		}
+	})
+}

@@ -15,3 +15,22 @@ func debugCheckLeapOrder(c, v graph.ID) {
 		panic(fmt.Sprintf("ringdebug: ltj: iterator leap returned %d < cursor %d (ordering contract violated)", v, c))
 	}
 }
+
+// debugCheckBatchEmit asserts the batched lane's contract (DESIGN.md
+// §13): emissions strictly increase, and — sampled — each emitted value
+// is exactly what the scalar seek loop would have accepted, i.e. every
+// iterator's Leap at the value returns the value itself.
+func (e *evaluator) debugCheckBatchEmit(ivs []iterVar, v, prev graph.ID, havePrev bool) {
+	if havePrev && v <= prev {
+		panic(fmt.Sprintf("ringdebug: ltj: batched lane emitted %d after %d — not strictly increasing", v, prev))
+	}
+	if e.stats.BatchEmits&15 != 1 {
+		return
+	}
+	for _, iv := range ivs {
+		got, ok := iv.it.Leap(iv.positions[0], v)
+		if !ok || got != v {
+			panic(fmt.Sprintf("ringdebug: ltj: batched emission %d disagrees with scalar Leap (%d, %v)", v, got, ok))
+		}
+	}
+}

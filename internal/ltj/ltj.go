@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/trieiter"
+	"repro/internal/wavelet"
 )
 
 // PatternIter is the per-triple-pattern trie-iterator interface
@@ -79,6 +80,17 @@ type Options struct {
 	// DisableOrderHeuristic uses the query's first-use variable order
 	// instead of the cardinality-based order (ablation; Section 4.3).
 	DisableOrderHeuristic bool
+	// DisableBatch turns off the batched radix-intersection lane
+	// (DESIGN.md §13): join variables are then always eliminated by the
+	// scalar leapfrog seek loop. The differential tests use this as the
+	// oracle configuration (ablation).
+	DisableBatch bool
+	// BatchThreshold is the minimum candidate-range length (the smallest
+	// iterator range over the join variable) at which the batched lane
+	// engages; below it the scalar seek loop wins because a handful of
+	// leaps beats walking the radix tree level by level. 0 means the
+	// default of 16. The differential tests force 1 for coverage.
+	BatchThreshold int
 	// Parallelism sets the number of worker goroutines for intra-query
 	// evaluation. 0 or 1 evaluates sequentially on the calling goroutine,
 	// producing solutions in the engine's deterministic order. Values > 1
@@ -125,6 +137,12 @@ type EvalStats struct {
 	Enumerations int
 	// Seeks is the number of seek() intersections run.
 	Seeks int
+	// BatchDescents is the number of batched radix-intersection descents
+	// run in place of scalar seek loops (DESIGN.md §13).
+	BatchDescents int
+	// BatchEmits is the number of candidate values those descents
+	// emitted.
+	BatchEmits int
 }
 
 // Evaluate runs LTJ for the basic graph pattern q over the index and
@@ -193,6 +211,7 @@ func StreamStats(idx Index, q graph.Pattern, opt Options, stats *EvalStats, emit
 	if e.varIters, err = buildVarIters(order, e.pats); err != nil {
 		return err
 	}
+	e.runBufs = make([][]wavelet.MatrixRange, len(order))
 	if opt.Context != nil {
 		e.ctx = opt.Context
 	}
@@ -256,6 +275,7 @@ type evaluator struct {
 	order    []string
 	varIters [][]iterVar
 	binding  graph.Binding
+	runBufs  [][]wavelet.MatrixRange // per-depth range buffers of the batched lane
 	deadline time.Time
 	ctx      context.Context // cancellation: Options.Context, or the workers' derived context in parallel mode
 	ticks    int
@@ -325,6 +345,13 @@ func (e *evaluator) search(j int) error {
 			return rerr == nil && !e.stopped
 		})
 		return rerr
+	}
+
+	// Batched radix-intersection lane (DESIGN.md §13): when every
+	// iterator of this join variable exposes its candidates as one
+	// wavelet range, a single multi-range descent replaces the seek loop.
+	if rs, ok := e.batchRuns(j, ivs); ok {
+		return e.searchBatched(j, name, ivs, rs)
 	}
 
 	// General seek loop (the while loop of leapfrog_search).

@@ -36,6 +36,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/wavelet"
 )
 
 // DefaultParallelism returns the worker count the CLIs use for
@@ -88,6 +89,7 @@ func (e *evaluator) searchParallel(idx Index) error {
 			opt:      e.opt,
 			order:    e.order,
 			binding:  graph.Binding{},
+			runBufs:  make([][]wavelet.MatrixRange, len(e.order)),
 			deadline: e.deadline,
 			ctx:      ctx,
 			stats:    &EvalStats{},
@@ -170,6 +172,8 @@ func (e *evaluator) searchParallel(idx Index) error {
 		e.stats.Binds += we.stats.Binds
 		e.stats.Enumerations += we.stats.Enumerations
 		e.stats.Seeks += we.stats.Seeks
+		e.stats.BatchDescents += we.stats.BatchDescents
+		e.stats.BatchEmits += we.stats.BatchEmits
 	}
 	return firstErr
 }
@@ -214,6 +218,32 @@ func (e *evaluator) produce(ctx context.Context, tasks chan<- []graph.ID) error 
 			}
 			e.stats.Enumerations++
 			if !add(c) {
+				rerr = errCancelled
+				return false
+			}
+			return true
+		})
+		if rerr != nil {
+			return rerr
+		}
+		if !flush() {
+			return errCancelled
+		}
+		return nil
+	}
+
+	// Batched radix-intersection lane, as in search: the intersection's
+	// emissions are exactly the values the seek loop below would accept
+	// (workers re-verify each candidate with Bind+Empty either way).
+	if rs, ok := e.batchRuns(0, ivs); ok {
+		e.stats.BatchDescents++
+		var rerr error
+		wavelet.IntersectRanges(rs, func(cv uint64) bool {
+			if rerr = e.checkDeadline(); rerr != nil {
+				return false
+			}
+			e.stats.BatchEmits++
+			if !add(graph.ID(cv)) {
 				rerr = errCancelled
 				return false
 			}

@@ -21,6 +21,24 @@ func (ps *PatternState) debugCheckLeap(pos graph.Position, c, v graph.ID) {
 	}
 }
 
+// debugCheckBatchLeap asserts the batched leap is indistinguishable from
+// the scalar one: the appended values must equal the chain of Leap calls
+// starting at c (strictly increasing by construction of the chain).
+func (ps *PatternState) debugCheckBatchLeap(pos graph.Position, c graph.ID, buf []graph.ID) {
+	want := c
+	for i, v := range buf {
+		sv, ok := ps.Leap(pos, want)
+		if !ok || sv != v {
+			panic(fmt.Sprintf("ringdebug: ring: BatchLeap(%v, %d)[%d] = %d disagrees with scalar Leap (%d, %v)",
+				pos, c, i, v, sv, ok))
+		}
+		if v == graph.MaxID {
+			return
+		}
+		want = v + 1
+	}
+}
+
 // debugCheckRange asserts the BWT range stays well-formed after a Bind:
 // 0 <= lo <= hi <= n.
 func (ps *PatternState) debugCheckRange() {

@@ -30,9 +30,20 @@ func BenchmarkServe(b *testing.B) {
 				b.Run(name, func(b *testing.B) {
 					prev := runtime.GOMAXPROCS(procs)
 					defer runtime.GOMAXPROCS(prev)
-					benchServe(b, procs, clients, cache)
+					benchServe(b, procs, clients, cache, "base")
 				})
 			}
+			// The shared-prefix mix is cache-miss-heavy by construction
+			// (cache disabled): a hot set of two cores, so concurrent
+			// clients collide on identical canonical patterns and the
+			// shared-scan lane batches them into one evaluation. With the
+			// cache on every row would be a cache hit — uninteresting.
+			name := fmt.Sprintf("procs=%d/clients=%d/cache=false/mix=shared", procs, clients)
+			b.Run(name, func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				benchServe(b, procs, clients, false, "shared")
+			})
 		}
 	}
 }
@@ -42,6 +53,18 @@ func BenchmarkServe(b *testing.B) {
 // per-request overhead (HTTP, admission, cache) is a visible fraction.
 func benchMix() []QueryRequest {
 	anchors := []string{"n000", "n003", "n010", "n027", "n058", "n101", "n145", "n199"}
+	return anchorMix(anchors)
+}
+
+// sharedBenchMix is the shared-prefix workload (the same shape
+// wgpb.SharedScanCores generates): a hot set of two cores, round-robined
+// so concurrent clients hold identical canonical patterns most of the
+// time and the shared-scan lane groups them.
+func sharedBenchMix() []QueryRequest {
+	return anchorMix([]string{"n000", "n101"})
+}
+
+func anchorMix(anchors []string) []QueryRequest {
 	mix := make([]QueryRequest, len(anchors))
 	for i, a := range anchors {
 		mix[i] = QueryRequest{
@@ -55,7 +78,7 @@ func benchMix() []QueryRequest {
 	return mix
 }
 
-func benchServe(b *testing.B, procs, clients int, cache bool) {
+func benchServe(b *testing.B, procs, clients int, cache bool, mixName string) {
 	cfg := Config{
 		Store:         heavyStore(b),
 		AccessLog:     io.Discard,
@@ -74,6 +97,9 @@ func benchServe(b *testing.B, procs, clients int, cache bool) {
 	defer ts.Close()
 
 	mix := benchMix()
+	if mixName == "shared" {
+		mix = sharedBenchMix()
+	}
 	bodies := make([][]byte, len(mix))
 	for i, req := range mix {
 		if bodies[i], err = json.Marshal(req); err != nil {
@@ -139,6 +165,7 @@ func benchServe(b *testing.B, procs, clients int, cache bool) {
 		Procs:    procs,
 		Clients:  clients,
 		Cache:    cache,
+		Mix:      mixName,
 		Requests: b.N,
 		QPS:      round3(qps),
 		P50MS:    round3(float64(p50) / 1e6),
@@ -160,9 +187,12 @@ func round3(f float64) float64 {
 
 // serveBenchResult is one row of BENCH_serve.json.
 type serveBenchResult struct {
-	Procs    int     `json:"gomaxprocs"`
-	Clients  int     `json:"clients"`
-	Cache    bool    `json:"cache"`
+	Procs   int  `json:"gomaxprocs"`
+	Clients int  `json:"clients"`
+	Cache   bool `json:"cache"`
+	// Mix is "base" (8 anchored join cores) or "shared" (2-core hot set
+	// exercising shared-scan grouping under concurrency).
+	Mix      string  `json:"mix"`
 	Requests int     `json:"requests"`
 	QPS      float64 `json:"qps"`
 	P50MS    float64 `json:"p50_ms"`
@@ -181,7 +211,7 @@ func recordServeBench(r serveBenchResult) {
 	serveBenchMu.Lock()
 	defer serveBenchMu.Unlock()
 	for i, old := range serveBenchResults {
-		if old.Procs == r.Procs && old.Clients == r.Clients && old.Cache == r.Cache {
+		if old.Procs == r.Procs && old.Clients == r.Clients && old.Cache == r.Cache && old.Mix == r.Mix {
 			if r.Requests >= old.Requests {
 				serveBenchResults[i] = r
 			}
@@ -209,7 +239,7 @@ func TestMain(m *testing.M) {
 			Triples:  heavySt.Len(),
 			QueryMix: len(benchMix()),
 			NumCPU:   runtime.NumCPU(),
-			Note:     "in-process httptest transport; GOMAXPROCS swept per row; cache=true serves the mix from the result cache after one warm pass",
+			Note:     "in-process httptest transport; GOMAXPROCS swept per row; cache=true serves the mix from the result cache after one warm pass; mix=shared is a cache-disabled 2-core hot set exercising shared-scan grouping",
 			Results:  serveBenchResults,
 		}
 		data, err := json.MarshalIndent(out, "", "  ")

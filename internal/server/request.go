@@ -56,6 +56,9 @@ type QueryResponse struct {
 	// TimedOut is set when evaluation hit the deadline; Solutions then
 	// holds the partial results found in time.
 	TimedOut bool `json:"timed_out,omitempty"`
+	// Shared is set when the solutions came from another request's
+	// shared-scan evaluation (this request attached as a follower).
+	Shared bool `json:"shared,omitempty"`
 	// Stats counts the engine operations of this evaluation (absent on
 	// cache hits).
 	Stats *StatsJSON `json:"stats,omitempty"`
@@ -67,10 +70,17 @@ type StatsJSON struct {
 	Binds        int `json:"binds"`
 	Seeks        int `json:"seeks"`
 	Enumerations int `json:"enumerations"`
+	// BatchDescents and BatchEmits count the batched radix-intersection
+	// lane's work (DESIGN.md §13); zero when the lane never engaged.
+	BatchDescents int `json:"batch_descents,omitempty"`
+	BatchEmits    int `json:"batch_emits,omitempty"`
 }
 
 func statsJSON(st ltj.EvalStats) *StatsJSON {
-	return &StatsJSON{Leaps: st.Leaps, Binds: st.Binds, Seeks: st.Seeks, Enumerations: st.Enumerations}
+	return &StatsJSON{
+		Leaps: st.Leaps, Binds: st.Binds, Seeks: st.Seeks, Enumerations: st.Enumerations,
+		BatchDescents: st.BatchDescents, BatchEmits: st.BatchEmits,
+	}
 }
 
 // errorResponse is the body of every non-2xx response.

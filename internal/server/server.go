@@ -81,6 +81,10 @@ type Config struct {
 	CacheBytes   int64
 	// AccessLog receives one JSON line per request (default os.Stderr).
 	AccessLog io.Writer
+	// DisableSharedScan turns off shared-scan batch execution: grouping
+	// concurrently-arriving cache-miss queries with the same canonical
+	// pattern into one engine pass (see sharedscan.go).
+	DisableSharedScan bool
 }
 
 func (cfg *Config) fillDefaults() {
@@ -126,7 +130,8 @@ type Server struct {
 	cache  *resultCache // nil when disabled
 	met    *metrics
 	log    *slog.Logger
-	weight int // admission weight of one query
+	weight int         // admission weight of one query
+	scans  sharedScans // in-flight shared-scan groups
 
 	store      atomic.Pointer[wcoring.Store]
 	live       atomic.Pointer[persist.DB] // set instead of store in live mode
@@ -498,6 +503,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Shared-scan lane: if an identical-pattern evaluation is already in
+	// flight (or other copies of this query are about to arrive), attach
+	// to one group and let a single engine pass serve them all.
+	if s.trySharedScan(w, r, idx, req, sel, key, cacheable, predVars, start) {
+		return
+	}
+
 	// Admission: wait in the bounded queue for at most QueueWait (or
 	// until the client goes away), then hold the weight for the whole
 	// evaluation.
@@ -536,6 +548,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.met.ltjBinds.add(int64(st.Binds))
 	s.met.ltjSeeks.add(int64(st.Seeks))
 	s.met.ltjEnums.add(int64(st.Enumerations))
+	s.met.ltjBatchDescents.add(int64(st.BatchDescents))
+	s.met.ltjBatchEmits.add(int64(st.BatchEmits))
 	s.met.queryDur.observe(elapsed)
 
 	timedOut := errors.Is(err, ltj.ErrTimeout)

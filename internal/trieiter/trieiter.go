@@ -12,7 +12,10 @@
 // code is unaffected.
 package trieiter
 
-import "repro/internal/graph"
+import (
+	"repro/internal/graph"
+	"repro/internal/wavelet"
+)
 
 // Iter maintains the set of triples matching one triple pattern under a
 // stack of position bindings.
@@ -36,6 +39,23 @@ type Iter interface {
 	// Enumerate visits the distinct values that can bind pos, in
 	// increasing order, stopping early if visit returns false.
 	Enumerate(pos graph.Position, visit func(graph.ID) bool)
+}
+
+// RunLeaper is the optional capability behind the engine's batched
+// radix-intersection lane (DESIGN.md §13): an iterator whose Leap(pos, ·)
+// candidates are exactly the distinct symbols of one contiguous
+// wavelet-matrix range. When every iterator touching a join variable
+// exposes such a range (over matrices of equal width), the engine
+// replaces ping-pong leapfrogging with one wavelet.IntersectRanges
+// descent over all the ranges at once.
+type RunLeaper interface {
+	Iter
+	// LeapRun returns the matrix range whose distinct values are the
+	// pattern's current candidates for pos, and whether the batched form
+	// applies under the current bindings (for the ring: only the
+	// backward-leap direction reads a contiguous column range). When
+	// ok is false the caller must fall back to scalar Leap calls.
+	LeapRun(pos graph.Position) (wavelet.MatrixRange, bool)
 }
 
 // Forkable is the optional capability the parallel LTJ engine uses to

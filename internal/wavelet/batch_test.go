@@ -1,0 +1,235 @@
+package wavelet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func naiveNextValues(s []uint64, lo, hi int, c uint64, max int) []uint64 {
+	seen := map[uint64]bool{}
+	for i := lo; i < hi && i < len(s); i++ {
+		if i >= 0 && s[i] >= c {
+			seen[s[i]] = true
+		}
+	}
+	out := make([]uint64, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+func naiveDistinctSet(s []uint64, lo, hi int) map[uint64]bool {
+	set := map[uint64]bool{}
+	for i := lo; i < hi && i < len(s); i++ {
+		if i >= 0 {
+			set[s[i]] = true
+		}
+	}
+	return set
+}
+
+func TestNextValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range allOpts {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, sigma := range []uint64{1, 2, 7, 64, 1000} {
+				s := randomSeq(rng, 300, sigma)
+				m := New(s, sigma, tc.opt)
+				for trial := 0; trial < 200; trial++ {
+					lo := rng.Intn(len(s) + 1)
+					hi := lo + rng.Intn(len(s)-lo+1)
+					c := uint64(rng.Int63n(int64(sigma) + 2))
+					max := rng.Intn(8) + 1
+					want := naiveNextValues(s, lo, hi, c, max)
+					got := m.NextValues(lo, hi, c, make([]uint64, 0, max))
+					if len(got) != len(want) {
+						t.Fatalf("NextValues(%d,%d,%d) cap %d: got %v want %v", lo, hi, c, max, got, want)
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("NextValues(%d,%d,%d) cap %d: got %v want %v", lo, hi, c, max, got, want)
+						}
+					}
+				}
+				// Appending to a partially filled buffer preserves the prefix.
+				buf := append(make([]uint64, 0, 6), 99, 98)
+				got := m.NextValues(0, len(s), 0, buf)
+				if len(got) < 2 || got[0] != 99 || got[1] != 98 {
+					t.Fatalf("NextValues clobbered buffer prefix: %v", got)
+				}
+				want := naiveNextValues(s, 0, len(s), 0, 4)
+				for i, v := range got[2:] {
+					if v != want[i] {
+						t.Fatalf("NextValues appended %v, want prefix of %v", got[2:], want)
+					}
+				}
+				// Full buffer: nothing appended.
+				full := make([]uint64, 3, 3)
+				if got := m.NextValues(0, len(s), 0, full); len(got) != 3 {
+					t.Fatalf("NextValues grew a full buffer: %v", got)
+				}
+			}
+		})
+	}
+}
+
+func TestIntersectRangesSingleMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range allOpts {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, sigma := range []uint64{2, 5, 100, 700} {
+				s := randomSeq(rng, 400, sigma)
+				m := New(s, sigma, tc.opt)
+				for trial := 0; trial < 100; trial++ {
+					k := rng.Intn(4) + 1
+					ranges := make([][2]int, k)
+					want := map[uint64]bool{}
+					for i := 0; i < k; i++ {
+						lo := rng.Intn(len(s) + 1)
+						hi := lo + rng.Intn(len(s)-lo+1)
+						ranges[i] = [2]int{lo, hi}
+						set := naiveDistinctSet(s, lo, hi)
+						if i == 0 {
+							want = set
+						} else {
+							for v := range want {
+								if !set[v] {
+									delete(want, v)
+								}
+							}
+						}
+					}
+					var got []uint64
+					m.IntersectRanges(ranges, func(v uint64) bool {
+						got = append(got, v)
+						return true
+					})
+					if len(got) != len(want) {
+						t.Fatalf("IntersectRanges(%v): got %d values %v, want %d", ranges, len(got), got, len(want))
+					}
+					for i, v := range got {
+						if !want[v] {
+							t.Fatalf("IntersectRanges(%v): emitted %d, not in intersection", ranges, v)
+						}
+						if i > 0 && v <= got[i-1] {
+							t.Fatalf("IntersectRanges(%v): emission not increasing: %v", ranges, got)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestIntersectRangesCrossMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const sigma = 300
+	a := randomSeq(rng, 500, sigma)
+	b := randomSeq(rng, 250, sigma)
+	ma := New(a, sigma, Options{})
+	mb := New(b, sigma, Options{Compress: true, RRRBlock: 16})
+	for trial := 0; trial < 100; trial++ {
+		alo := rng.Intn(len(a) + 1)
+		ahi := alo + rng.Intn(len(a)-alo+1)
+		blo := rng.Intn(len(b) + 1)
+		bhi := blo + rng.Intn(len(b)-blo+1)
+		want := naiveDistinctSet(a, alo, ahi)
+		bset := naiveDistinctSet(b, blo, bhi)
+		for v := range want {
+			if !bset[v] {
+				delete(want, v)
+			}
+		}
+		var got []uint64
+		IntersectRanges([]MatrixRange{{ma, alo, ahi}, {mb, blo, bhi}}, func(v uint64) bool {
+			got = append(got, v)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("cross-matrix intersect [%d,%d)x[%d,%d): got %v want %d values", alo, ahi, blo, bhi, got, len(want))
+		}
+		for _, v := range got {
+			if !want[v] {
+				t.Fatalf("cross-matrix intersect emitted %d outside intersection", v)
+			}
+		}
+	}
+}
+
+func TestIntersectRangesEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := randomSeq(rng, 200, 50)
+	m := New(s, 50, Options{})
+
+	// Early stop.
+	count := 0
+	m.IntersectRanges([][2]int{{0, len(s)}, {0, len(s)}}, func(uint64) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop: emit called %d times, want 3", count)
+	}
+
+	// Empty input range, out-of-bounds clamping, no ranges at all.
+	m.IntersectRanges([][2]int{{5, 5}, {0, 10}}, func(uint64) bool {
+		t.Fatal("emitted from an empty range")
+		return false
+	})
+	var clamped []uint64
+	m.IntersectRanges([][2]int{{-10, 10_000}}, func(v uint64) bool {
+		clamped = append(clamped, v)
+		return true
+	})
+	if len(clamped) != len(naiveDistinctSet(s, 0, len(s))) {
+		t.Fatalf("clamped full-range intersect returned %d values", len(clamped))
+	}
+	IntersectRanges(nil, func(uint64) bool {
+		t.Fatal("emitted with no ranges")
+		return false
+	})
+
+	// Width mismatch panics.
+	narrow := New(randomSeq(rng, 50, 4), 4, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch did not panic")
+		}
+	}()
+	IntersectRanges([]MatrixRange{{m, 0, 10}, {narrow, 0, 10}}, func(uint64) bool { return true })
+}
+
+// TestIntersectMatchesDistinct pins the k=1 degenerate case to
+// DistinctInRange, which the batched walk must generalize.
+func TestIntersectMatchesDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	s := randomSeq(rng, 300, 97)
+	m := New(s, 97, Options{})
+	for trial := 0; trial < 50; trial++ {
+		lo := rng.Intn(len(s) + 1)
+		hi := lo + rng.Intn(len(s)-lo+1)
+		var a, b []uint64
+		m.IntersectRanges([][2]int{{lo, hi}}, func(v uint64) bool {
+			a = append(a, v)
+			return true
+		})
+		m.DistinctInRange(lo, hi, func(v uint64, _ int) bool {
+			b = append(b, v)
+			return true
+		})
+		if len(a) != len(b) {
+			t.Fatalf("[%d,%d): intersect %v vs distinct %v", lo, hi, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("[%d,%d): intersect %v vs distinct %v", lo, hi, a, b)
+			}
+		}
+	}
+}

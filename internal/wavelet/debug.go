@@ -39,6 +39,56 @@ func (m *Matrix) debugCheckSelect(c uint64, k, pos int) {
 	}
 }
 
+// debugCheckNextValues asserts the batched range-successor contract: the
+// appended symbols are strictly increasing, all ≥ c, and each agrees
+// with the scalar RangeNextValue chain starting at c — the batched walk
+// must be indistinguishable from repeated scalar leaps.
+func (m *Matrix) debugCheckNextValues(lo, hi int, c uint64, got []uint64) {
+	want := c
+	for i, v := range got {
+		if v < want {
+			panic(fmt.Sprintf("ringdebug: wavelet: NextValues(%d, %d, %d)[%d] = %d below lower bound %d",
+				lo, hi, c, i, v, want))
+		}
+		sv, ok := m.rangeNext(lo, hi, want)
+		if !ok || sv != v {
+			panic(fmt.Sprintf("ringdebug: wavelet: NextValues(%d, %d, %d)[%d] = %d disagrees with scalar RangeNextValue (%d, %v)",
+				lo, hi, c, i, v, sv, ok))
+		}
+		want = v + 1
+	}
+}
+
+// debugWrapIntersect wraps an IntersectRanges emit callback with the
+// batched-emission assertions: values strictly increasing, and (sampled)
+// actually present in every input range.
+func debugWrapIntersect(rs []MatrixRange, emit func(uint64) bool) func(uint64) bool {
+	var last uint64
+	n := 0
+	return func(v uint64) bool {
+		n++
+		if n > 1 && v <= last {
+			panic(fmt.Sprintf("ringdebug: wavelet: IntersectRanges emitted %d after %d — not strictly increasing", v, last))
+		}
+		last = v
+		if n&7 == 1 {
+			for _, r := range rs {
+				lo, hi := r.Lo, r.Hi
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > r.M.n {
+					hi = r.M.n
+				}
+				if r.M.Count(v, lo, hi) == 0 {
+					panic(fmt.Sprintf("ringdebug: wavelet: IntersectRanges emitted %d, absent from range [%d,%d)", v, r.Lo, r.Hi))
+				}
+			}
+		}
+		return emit(v)
+	}
+}
+
 // debugCheckRangeNext asserts the range-successor contract: the returned
 // symbol is ≥ c, inside the alphabet, and actually occurs in [lo, hi).
 func (m *Matrix) debugCheckRangeNext(lo, hi int, c, v uint64) {

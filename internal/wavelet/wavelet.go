@@ -416,39 +416,35 @@ func (m *Matrix) DistinctInRange(lo, hi int, visit func(c uint64, count int) boo
 // order with an explicit-stack DFS: at each node the 1-child is parked on
 // the stack and the walk continues into the 0-child, so symbols surface
 // in sorted order. The stack holds at most one pending sibling per level
-// (width ≤ 64), so it lives on the goroutine stack — no allocation, no
-// recursive call overhead.
+// (width ≤ 64) and is recycled through dnodePool (shared with the batched
+// descents in batch.go) — a fixed stack array would zero 2KB per call.
 //
 //ringlint:hotpath
 func (m *Matrix) distinct(lo, hi int, visit func(uint64, int) bool) {
-	type node struct {
-		l      uint
-		lo, hi int
-		prefix uint64
-	}
-	var stack [64]node
-	top := 0
-	cur := node{0, lo, hi, 0}
+	sp := dnodePool.Get().(*[]dnode)
+	stack := (*sp)[:0]
+	cur := dnode{0, lo, hi, 0}
 	for {
 		if cur.lo < cur.hi {
 			if cur.l < m.width {
 				r1lo, r1hi := m.rank1(cur.l, cur.lo), m.rank1(cur.l, cur.hi)
 				z := m.zeros[cur.l]
-				stack[top] = node{cur.l + 1, z + r1lo, z + r1hi, cur.prefix<<1 | 1}
-				top++
-				cur = node{cur.l + 1, cur.lo - r1lo, cur.hi - r1hi, cur.prefix << 1}
+				stack = append(stack, dnode{cur.l + 1, z + r1lo, z + r1hi, cur.prefix<<1 | 1})
+				cur = dnode{cur.l + 1, cur.lo - r1lo, cur.hi - r1hi, cur.prefix << 1}
 				continue
 			}
 			if !visit(cur.prefix, cur.hi-cur.lo) {
-				return
+				break
 			}
 		}
-		if top == 0 {
-			return
+		if len(stack) == 0 {
+			break
 		}
-		top--
-		cur = stack[top]
+		cur = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 	}
+	*sp = stack[:0]
+	dnodePool.Put(sp)
 }
 
 // SizeBytes returns the total in-memory footprint of the matrix.

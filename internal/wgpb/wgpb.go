@@ -343,6 +343,43 @@ func (w *Workload) RealWorldQuery(maxTriples int) graph.Pattern {
 	return q
 }
 
+// SharedScanCores generates n distinct selective 2-pattern join cores —
+// the query shape of a cache-miss-heavy serving workload with a small
+// hot set: (s, ?p, ?b) ⋈ (?b, p, ?c), anchored on a concrete subject.
+// Many concurrent clients drawing from a small core set produce exactly
+// the identical-canonical-pattern collisions the server's shared-scan
+// lane batches into one evaluation; each core is seeded by a random walk
+// so it has at least one solution. Cores are distinct by their (anchor,
+// predicate) pair; fewer than n may be returned on very sparse graphs.
+func (w *Workload) SharedScanCores(n int) []graph.Pattern {
+	if w.g.Len() == 0 {
+		return nil
+	}
+	type coreKey struct {
+		s, p graph.ID
+	}
+	seen := map[coreKey]bool{}
+	var out []graph.Pattern
+	for attempts := 0; len(out) < n && attempts < n*200; attempts++ {
+		t1 := w.g.Triples()[w.rng.Intn(w.g.Len())]
+		hops := w.adj.out[t1.O]
+		if len(hops) == 0 {
+			continue
+		}
+		t2 := hops[w.rng.Intn(len(hops))]
+		k := coreKey{t1.S, t2.P}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, graph.Pattern{
+			graph.TP(graph.Const(t1.S), graph.Var("p"), graph.Var("b")),
+			graph.TP(graph.Var("b"), graph.Const(t2.P), graph.Var("c")),
+		})
+	}
+	return out
+}
+
 // hubPredicate returns the most frequent predicate (cached).
 func (w *Workload) hubPredicate() graph.ID {
 	if w.hubP == nil {

@@ -218,3 +218,42 @@ func TestRealWorldQueriesEvaluate(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedScanCores: the cores are distinct canonical patterns, shaped
+// as selective 2-pattern joins, and each has at least one solution.
+func TestSharedScanCores(t *testing.T) {
+	g := testGraph(t)
+	w := NewWorkload(g, 11)
+	cores := w.SharedScanCores(8)
+	if len(cores) < 4 {
+		t.Fatalf("only %d cores generated, want most of 8", len(cores))
+	}
+	r := ring.New(g, ring.Options{})
+	idx := ltj.IndexFunc(func(tp graph.TriplePattern) ltj.PatternIter {
+		return r.NewPatternState(tp)
+	})
+	seen := map[string]bool{}
+	for i, q := range cores {
+		if len(q) != 2 {
+			t.Fatalf("core %d has %d patterns, want 2", i, len(q))
+		}
+		if q[0].Term(graph.PosS).IsVar || !q[0].Term(graph.PosP).IsVar {
+			t.Fatalf("core %d first pattern not (const, ?p, ?b): %v", i, q[0])
+		}
+		if !q[1].Term(graph.PosS).IsVar || q[1].Term(graph.PosP).IsVar {
+			t.Fatalf("core %d second pattern not (?b, const, ?c): %v", i, q[1])
+		}
+		key := q[0].Term(graph.PosS).String() + "|" + q[1].Term(graph.PosP).String()
+		if seen[key] {
+			t.Fatalf("core %d duplicates an earlier (anchor, predicate) pair", i)
+		}
+		seen[key] = true
+		res, err := ltj.Evaluate(idx, q, ltj.Options{Limit: 1})
+		if err != nil {
+			t.Fatalf("core %d %v: %v", i, q, err)
+		}
+		if len(res.Solutions) == 0 {
+			t.Fatalf("core %d %v has no solutions", i, q)
+		}
+	}
+}

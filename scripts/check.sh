@@ -38,8 +38,14 @@ go test -tags ringdebug ./internal/...
 echo "== go test -race (full module)"
 go test -race ./...
 
+echo "== go test -race -tags ringdebug (batched lane: radix intersection under assertions)"
+go test -race -tags ringdebug ./internal/wavelet ./internal/ring ./internal/ltj
+
 echo "== bench smoke (compile and run every benchmark once)"
 go test -run '^$' -bench . -benchtime 1x ./...
+
+echo "== bench batch (batched vs scalar leapfrog, writes BENCH_batch_leap.json)"
+BENCH_BATCH_JSON="$(pwd)/BENCH_batch_leap.json" go test -run TestRecordBatchLeapBench ./internal/ring
 
 echo "== serve smoke (end-to-end ringserve: query, shed, drain)"
 sh scripts/serve_smoke.sh
