@@ -4,7 +4,11 @@
 #   make fmt    gofmt -s diff check (fails listing unformatted files)
 #   make vet    go vet
 #   make lint   ringlint, the repo-specific static analyzers (hotpath,
-#               derivedstate, forksafe, truncation) over the whole module
+#               derivedstate, forksafe, truncation, viewsafe, guardedby,
+#               golife, refpair, syncio, ctxflow) over the whole module,
+#               with per-analyzer wall times
+#   make lint-only ONLY=<a,b>  a subset of the analyzers (iterating on
+#               one analyzer or an annotation pass)
 #   make build  compile everything
 #   make test   full test suite, shuffled (includes the fuzz seed corpora)
 #   make test-debug  internal packages with the ringdebug assertion tag
@@ -44,7 +48,7 @@
 GO ?= go
 BENCH_COUNT ?= 1
 
-.PHONY: check fmt vet lint build test test-debug race race-batch bench bench-smoke bench-substrate bench-serve bench-batch bench-mmap-load serve-smoke persist-smoke mmap-smoke
+.PHONY: check fmt vet lint lint-only build test test-debug race race-batch bench bench-smoke bench-substrate bench-serve bench-batch bench-mmap-load serve-smoke persist-smoke mmap-smoke
 
 check: fmt vet lint build test test-debug race race-batch bench-smoke bench-batch serve-smoke persist-smoke mmap-smoke
 
@@ -58,7 +62,13 @@ vet:
 	$(GO) vet ./...
 
 lint:
-	$(GO) run ./cmd/ringlint ./...
+	$(GO) run ./cmd/ringlint -timing ./...
+
+# Run a single analyzer while iterating on it or on annotations:
+#   make lint-only ONLY=guardedby
+#   make lint-only ONLY=refpair,syncio
+lint-only:
+	$(GO) run ./cmd/ringlint -timing -only $(ONLY) ./...
 
 build:
 	$(GO) build ./...

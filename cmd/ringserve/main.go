@@ -149,6 +149,7 @@ func main() {
 		case s := <-sig:
 			log.Printf("received %v, draining (hard deadline %v)", s, *drainTimeout)
 			srv.BeginDrain()
+			//ringlint:detach -- process shutdown: there is no inbound context to inherit
 			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 			err := httpSrv.Shutdown(ctx)
 			cancel()

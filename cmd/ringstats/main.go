@@ -55,6 +55,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer reg.Release()
 		store, err = wcoring.ViewStore(reg.Bytes())
 		if err != nil {
 			log.Fatal(err)

@@ -225,12 +225,10 @@ func rrrFromWords(words []uint64, n, blockSize int) *RRR {
 		}
 		w := r.blockWordFrom(words, blk)
 		c := mbits.OnesCount64(w)
-		// Both slices were freshly allocated above; this builder never
-		// sees view-aliased memory.
-		//ringlint:allow viewsafe
+		//ringlint:allow viewsafe -- buffer freshly allocated by this builder, never view-aliased
 		bits.WriteBits(r.classes, uint64(blk)*uint64(r.classWidth), r.classWidth, uint64(c))
 		if wd := tab.width[c]; wd > 0 {
-			//ringlint:allow viewsafe
+			//ringlint:allow viewsafe -- buffer freshly allocated by this builder, never view-aliased
 			bits.WriteBits(r.offsets, pos, wd, tab.encodeBlock(w))
 			pos += uint64(wd)
 		}

@@ -53,8 +53,7 @@ func NewSparse(m int, ones []int) *Sparse {
 		}
 		prev = p
 		if s.lw > 0 {
-			// s.low was freshly allocated above, never view-aliased.
-			//ringlint:allow viewsafe
+			//ringlint:allow viewsafe -- buffer freshly allocated by this builder, never view-aliased
 			bits.WriteBits(s.low, uint64(j)*uint64(s.lw), s.lw, uint64(p)&((1<<s.lw)-1))
 		}
 		hb.Set((p >> s.lw) + j)

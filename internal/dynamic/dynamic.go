@@ -78,17 +78,17 @@ type Store struct {
 	// (deletions rewrite it into a fresh slice), so published snapshots
 	// can alias it without copying.
 	mu        sync.Mutex
-	cond      *sync.Cond // broadcast when frozen drains or rings change
-	mem       []graph.Triple
-	memSet    map[graph.Triple]struct{}
-	frozen    []graph.Triple // memtable chunk being flushed (nil when idle)
-	frozenSet map[graph.Triple]struct{}
-	rings     []*ring.Ring // oldest first
-	numSO     graph.ID
-	numP      graph.ID
-	n         int
-	gen       uint64
-	closed    bool
+	cond      *sync.Cond                // broadcast when frozen drains or rings change
+	mem       []graph.Triple            //ringlint:guarded-by mu
+	memSet    map[graph.Triple]struct{} //ringlint:guarded-by mu
+	frozen    []graph.Triple            // memtable chunk being flushed (nil when idle) //ringlint:guarded-by mu
+	frozenSet map[graph.Triple]struct{} //ringlint:guarded-by mu
+	rings     []*ring.Ring              // oldest first //ringlint:guarded-by mu
+	numSO     graph.ID                  //ringlint:guarded-by mu
+	numP      graph.ID                  //ringlint:guarded-by mu
+	n         int                       //ringlint:guarded-by mu
+	gen       uint64                    //ringlint:guarded-by mu
+	closed    bool                      //ringlint:guarded-by mu
 
 	compactions atomic.Uint64
 

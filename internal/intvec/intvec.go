@@ -54,8 +54,7 @@ func NewWidth(values []uint64, width uint) *Vector {
 		if val > limit {
 			panic(fmt.Sprintf("intvec: value %d exceeds width %d", val, width))
 		}
-		// v.data was freshly allocated above, never view-aliased.
-		//ringlint:allow viewsafe
+		//ringlint:allow viewsafe -- buffer freshly allocated by this builder, never view-aliased
 		bits.WriteBits(v.data, uint64(i)*uint64(width), width, val)
 	}
 	return v

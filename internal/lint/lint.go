@@ -38,6 +38,48 @@
 //   - //ringlint:allow <analyzer> [-- reason]
 //     On or immediately above a line: suppress that analyzer's findings
 //     for the line, documenting a reviewed exception.
+//
+// The concurrency/durability suite (PR 8) adds verbs for the serving
+// tier:
+//
+//   - //ringlint:guarded-by <mu>
+//     On a struct field: every read or write of the field must happen
+//     while <mu> is held. <mu> is either a sibling mutex field of the
+//     same struct (the lock receiver must syntactically match the access
+//     base: a.mu guards a.used) or Type.field naming another struct's
+//     mutex in the same package (any holder qualifies — used when a
+//     registry lock guards the records it owns). Reviewed lock-free fast
+//     paths carry //ringlint:allow guardedby -- reason. (guardedby)
+//
+//   - //ringlint:locked [<mu>]
+//     On a function's doc comment: the caller holds <mu> (default: every
+//     mutex guarding the receiver's annotated fields) for the duration
+//     of the call. Methods whose name ends in "Locked" get this
+//     implicitly — the repo-wide caller-holds-the-lock convention.
+//
+//   - //ringlint:goroutine-exception -- reason
+//     On or immediately above a go statement: the goroutine is reviewed
+//     fire-and-forget. Without it, every go statement needs a tracked
+//     termination path — a WaitGroup Done, a completion send/close, or a
+//     done channel the spawner closes. (golife)
+//
+//   - //ringlint:transfer <var> -- reason
+//     Inside a function: ownership of the named acquired resource
+//     (mman region, admission weight) is handed off and must not be
+//     released locally. Returning the resource or storing it into a
+//     field, map, or package-level variable transfers implicitly.
+//     (refpair)
+//
+//   - //ringlint:detach -- reason
+//     On or immediately above a line: this context.Background()/TODO()
+//     is a reviewed detach point (e.g. the shared-scan group context
+//     that outlives the leader's request). (ctxflow)
+//
+//   - //ringlint:durable
+//     In a file header: the file performs durability-critical I/O, so
+//     Sync/Close/Write/Rename errors on write handles must be checked.
+//     Files under internal/persist are checked without the directive.
+//     (syncio)
 package lint
 
 import (
@@ -46,6 +88,8 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Diagnostic is one analyzer finding.
@@ -67,24 +111,64 @@ type Analyzer interface {
 
 // Analyzers returns the full ringlint suite.
 func Analyzers() []Analyzer {
-	return []Analyzer{hotpath{}, derivedstate{}, forksafe{}, truncation{}, viewsafe{}}
+	return []Analyzer{
+		hotpath{}, derivedstate{}, forksafe{}, truncation{}, viewsafe{},
+		guardedby{}, golife{}, refpair{}, syncio{}, ctxflow{},
+	}
+}
+
+// Timing is one analyzer's wall-clock cost over a run, reported by
+// `ringlint -timing` so CI logs show which analyzer is slow.
+type Timing struct {
+	Analyzer string        `json:"analyzer"`
+	Wall     time.Duration `json:"-"`
+	WallMS   float64       `json:"wall_ms"`
+	Findings int           `json:"findings"`
 }
 
 // Run applies the analyzers to every package and returns the surviving
 // diagnostics sorted by position, with //ringlint:allow suppressions
 // already applied.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		allowed := allowLines(pkg)
-		for _, a := range analyzers {
-			for _, d := range a.Run(pkg) {
-				if allowed[allowKey{d.Pos.Filename, d.Pos.Line, a.Name()}] {
-					continue
+	out, _ := RunTimed(pkgs, analyzers)
+	return out
+}
+
+// RunTimed is Run with per-analyzer wall-time accounting. Analyzers run
+// concurrently — each owns one goroutine and walks every package; the
+// type-checked packages are read-only at this point, so the only shared
+// mutable state is the result slices, merged after the join.
+func RunTimed(pkgs []*Package, analyzers []Analyzer) ([]Diagnostic, []Timing) {
+	allowed := make([]map[allowKey]bool, len(pkgs))
+	for i, pkg := range pkgs {
+		allowed[i] = allowLines(pkg)
+	}
+	results := make([][]Diagnostic, len(analyzers))
+	timings := make([]Timing, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a Analyzer) {
+			defer wg.Done()
+			start := time.Now()
+			var ds []Diagnostic
+			for pi, pkg := range pkgs {
+				for _, d := range a.Run(pkg) {
+					if allowed[pi][allowKey{d.Pos.Filename, d.Pos.Line, a.Name()}] {
+						continue
+					}
+					ds = append(ds, d)
 				}
-				out = append(out, d)
 			}
-		}
+			wall := time.Since(start)
+			results[i] = ds
+			timings[i] = Timing{Analyzer: a.Name(), Wall: wall, WallMS: float64(wall.Microseconds()) / 1e3, Findings: len(ds)}
+		}(i, a)
+	}
+	wg.Wait()
+	var out []Diagnostic
+	for _, ds := range results {
+		out = append(out, ds...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -99,7 +183,7 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
+	return out, timings
 }
 
 const directivePrefix = "//ringlint:"
@@ -155,6 +239,35 @@ func allowLines(pkg *Package) map[allowKey]bool {
 				pos := pkg.Fset.Position(c.Pos())
 				out[allowKey{pos.Filename, pos.Line, name}] = true
 				out[allowKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return out
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// directiveLines collects every occurrence of the given verb, keyed by
+// the lines it covers: its own (trailing-comment form) and the next
+// (comment-above form). The value is the directive's arguments with any
+// `-- reason` suffix stripped.
+func directiveLines(pkg *Package, verb string) map[fileLine]string {
+	out := make(map[fileLine]string)
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				v, args, ok := directive(c)
+				if !ok || v != verb {
+					continue
+				}
+				args, _, _ = strings.Cut(args, "--")
+				args = strings.TrimSpace(args)
+				pos := pkg.Fset.Position(c.Pos())
+				out[fileLine{pos.Filename, pos.Line}] = args
+				out[fileLine{pos.Filename, pos.Line + 1}] = args
 			}
 		}
 	}

@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"io/fs"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -62,7 +64,10 @@ func analyzerByName(t *testing.T, name string) Analyzer {
 // matched by a diagnostic on its line, and every diagnostic must land on a
 // marked line with a matching message.
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"hotpath", "derivedstate", "forksafe", "truncation", "viewsafe"} {
+	for _, name := range []string{
+		"hotpath", "derivedstate", "forksafe", "truncation", "viewsafe",
+		"guardedby", "golife", "refpair", "syncio", "ctxflow",
+	} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)
 			pkgs, err := Load(dir, []string{dir})
@@ -96,6 +101,54 @@ func TestFixtures(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSuppressionsHaveReasons requires every reviewed-exception
+// directive in the module to document itself: an allow, detach,
+// transfer or goroutine-exception without `-- reason` is an
+// unexplained opt-out, which defeats the point of annotating.
+func TestSuppressionsHaveReasons(t *testing.T) {
+	reasoned := map[string]bool{
+		"allow": true, "detach": true, "transfer": true, "goroutine-exception": true,
+	}
+	root := filepath.Join("..", "..")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "vendor" || (len(name) > 1 && (name[0] == '.' || name[0] == '_')) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "//ringlint:")
+			if idx < 0 {
+				continue
+			}
+			rest := line[idx+len("//ringlint:"):]
+			verb, args, _ := strings.Cut(rest, " ")
+			if !reasoned[strings.TrimSpace(verb)] {
+				continue
+			}
+			if !strings.Contains(args, "--") || strings.TrimSpace(strings.SplitN(args, "--", 2)[1]) == "" {
+				t.Errorf("%s:%d: //ringlint:%s without `-- reason`", path, i+1, strings.TrimSpace(verb))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,195 @@
+package lint
+
+// syncio enforces the durability contract on the persistence tier: an
+// error from Sync, Close, Write, WriteString, Flush or Truncate on a
+// file or buffered writer — or from os.Rename — that is silently
+// dropped breaks 200-after-fsync without any test noticing. The WAL
+// acks a mutation only after fdatasync; a swallowed sync or close error
+// on that path means the client holds a 200 for bytes the kernel never
+// promised to keep.
+//
+// Scope: every file under internal/persist, plus any file whose header
+// carries //ringlint:durable. Within scope, a flagged call's error must
+// be captured into a variable (propagation is the code reviewer's half
+// of the contract); discarding it — as a bare statement, via `_ =`, or
+// behind a naked defer — is a finding. One shape is exempt: `defer
+// f.Close()` on a handle opened read-only by os.Open in the same
+// function, where a close error cannot lose acknowledged data.
+// Reviewed discards (best-effort close on an error path already
+// reporting the original error) carry //ringlint:allow syncio --
+// reason.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+type syncio struct{}
+
+func (syncio) Name() string { return "syncio" }
+
+// sioMethods are the durable-I/O methods whose error results matter.
+var sioMethods = map[string]bool{
+	"Sync": true, "Close": true, "Write": true, "WriteString": true,
+	"Flush": true, "Truncate": true,
+}
+
+func (syncio) Run(pkg *Package) []Diagnostic {
+	inPersist := strings.HasSuffix(pkg.Path, "internal/persist")
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if !inPersist {
+			if _, ok := fileHasDirective(pkg, f, "durable"); !ok {
+				continue
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			readHandles := sioReadOnlyHandles(pkg, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok && sioDurableCall(pkg, call) {
+						diags = append(diags, diag(pkg, "syncio",
+							n, "error from %s discarded on a durable path: capture and propagate it (200-after-fsync)", sioCallName(call)))
+					}
+				case *ast.DeferStmt:
+					if !sioDurableCall(pkg, n.Call) {
+						return true
+					}
+					if sel, ok := n.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+						if id, ok := sel.X.(*ast.Ident); ok {
+							if obj := pkg.Info.Uses[id]; obj != nil && readHandles[obj] {
+								return true // read-only handle: close error is harmless
+							}
+						}
+					}
+					diags = append(diags, diag(pkg, "syncio",
+						n, "deferred %s on a durable path drops its error: collect it explicitly (named return or error slot)", sioCallName(n.Call)))
+				case *ast.AssignStmt:
+					// `_ = f.Close()` and friends: explicit, but still a drop.
+					for i, rhs := range n.Rhs {
+						call, ok := rhs.(*ast.CallExpr)
+						if !ok || !sioDurableCall(pkg, call) {
+							continue
+						}
+						if sioErrDiscarded(n.Lhs, i, len(n.Rhs)) {
+							diags = append(diags, diag(pkg, "syncio",
+								n, "error from %s assigned to blank on a durable path: capture and propagate it", sioCallName(call)))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// sioDurableCall matches a durable-I/O call: one of sioMethods on an
+// *os.File or *bufio.Writer, or os.Rename.
+func sioDurableCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+			return id.Name == "os" && sel.Sel.Name == "Rename"
+		}
+	}
+	if !sioMethods[sel.Sel.Name] {
+		return false
+	}
+	t := pkg.Info.Types[sel.X].Type
+	if t == nil {
+		return false
+	}
+	if t.String() == "*bufio.Writer" {
+		return true
+	}
+	return sioFileLike(t)
+}
+
+// sioFileLike reports whether t behaves as a durable file handle: its
+// method set carries both Sync() error and Close() error. This matches
+// *os.File and any interface seam standing in for it (the WAL's
+// committer-file type), so swapping a concrete file for a test seam
+// does not silently drop the durable-I/O checks.
+func sioFileLike(t types.Type) bool {
+	return sioHasErrMethod(t, "Sync") && sioHasErrMethod(t, "Close")
+}
+
+// sioHasErrMethod reports whether t's method set has `name() error`.
+func sioHasErrMethod(t types.Type, name string) bool {
+	sel := types.NewMethodSet(t).Lookup(nil, name)
+	if sel == nil {
+		return false
+	}
+	sig, ok := sel.Obj().Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		sig.Results().At(0).Type().String() == "error"
+}
+
+// sioReadOnlyHandles collects locals assigned from os.Open (read-only)
+// in this function.
+func sioReadOnlyHandles(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Open" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "os" {
+			return true
+		}
+		if len(as.Lhs) > 0 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					out[obj] = true
+				} else if obj := pkg.Info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sioErrDiscarded reports whether the error result of this rhs call is
+// assigned to blank. Write-shaped calls return (n, error), so in a
+// tuple assignment the error is the last lhs; Sync/Close-shaped calls
+// return only the error, so in a paired assignment it is slot i.
+func sioErrDiscarded(lhs []ast.Expr, i, nRhs int) bool {
+	var slot ast.Expr
+	if nRhs == len(lhs) && i < len(lhs) {
+		slot = lhs[i]
+	} else {
+		slot = lhs[len(lhs)-1]
+	}
+	id, ok := slot.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func sioCallName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X) + "." + sel.Sel.Name
+	}
+	return types.ExprString(call.Fun)
+}

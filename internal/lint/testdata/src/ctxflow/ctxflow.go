@@ -1,0 +1,70 @@
+// Package ctxflow is a ringlint test fixture: positive and negative
+// cases for the context-propagation analyzer.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+func background() context.Context {
+	return context.Background() // want "severs the cancellation chain"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "severs the cancellation chain"
+}
+
+func detached() context.Context {
+	//ringlint:detach -- fixture: reviewed detach point
+	return context.Background() // negative: annotated detach
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	waitBoth(r, make(chan struct{}))
+	helperSleep()
+	pollOnce(make(chan int))
+}
+
+func waitBoth(r *http.Request, ch chan struct{}) {
+	select { // negative: context Done case present
+	case <-ch:
+	case <-r.Context().Done():
+	}
+}
+
+func helperSleep() {
+	time.Sleep(time.Millisecond) // want "time.Sleep blocks a handler-reachable path"
+}
+
+func pollOnce(ch chan int) int {
+	select { // negative: default makes it non-blocking
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func bareReceive(w http.ResponseWriter, r *http.Request, ch chan int) int {
+	return <-ch // want "blocking receive outside select"
+}
+
+func selectNoDone(w http.ResponseWriter, r *http.Request, a, b chan int) int {
+	select { // want "no context Done"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func wgWait(w http.ResponseWriter, r *http.Request, wg *sync.WaitGroup) {
+	wg.Wait() // want "WaitGroup.Wait blocks a handler-reachable path"
+}
+
+func notReachable(ch chan int) int {
+	return <-ch // negative: not on a handler path
+}

@@ -1,0 +1,75 @@
+// Package syncio is a ringlint test fixture: positive and negative
+// cases for the durable-I/O error-checking analyzer. The file opts in
+// via the durable header directive, standing in for internal/persist.
+//
+//ringlint:durable
+package syncio
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+func discardedSync(f *os.File) {
+	f.Sync() // want "error from f.Sync discarded"
+}
+
+func discardedClose(f *os.File) {
+	f.Close() // want "error from f.Close discarded"
+}
+
+func blankClose(f *os.File) {
+	_ = f.Close() // want "assigned to blank"
+}
+
+func blankWriteErr(f *os.File, p []byte) int {
+	n, _ := f.Write(p) // want "assigned to blank"
+	return n
+}
+
+func captured(f *os.File, p []byte) error {
+	if _, err := f.Write(p); err != nil {
+		return err
+	}
+	return f.Sync() // negative: propagated to the caller
+}
+
+func deferredWriteClose(path string, p []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred f.Close on a durable path"
+	_, err = f.Write(p)
+	return err
+}
+
+func deferredReadClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // negative: read-only handle, close error harmless
+	return io.ReadAll(f)
+}
+
+func renameDiscarded(a, b string) {
+	os.Rename(a, b) // want "error from os.Rename discarded"
+}
+
+func renameChecked(a, b string) error {
+	return os.Rename(a, b) // negative
+}
+
+func flushDiscarded(w *bufio.Writer) {
+	w.Flush() // want "error from w.Flush discarded"
+}
+
+func flushChecked(w *bufio.Writer) error {
+	return w.Flush() // negative
+}
+
+func reviewedDiscard(f *os.File) {
+	f.Close() //ringlint:allow syncio -- fixture: best-effort close on a path already failing
+}

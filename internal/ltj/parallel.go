@@ -72,6 +72,7 @@ func forkIter(idx Index, p patternEntry) PatternIter {
 // is called on a fully set-up evaluator (iterators created, order chosen,
 // varIters built) in place of e.search(0).
 func (e *evaluator) searchParallel(idx Index) error {
+	//ringlint:detach -- default root when the caller set no opt.Context; callers with one are honoured below
 	parent := context.Background()
 	if e.opt.Context != nil {
 		parent = e.opt.Context

@@ -1,0 +1,40 @@
+package mman
+
+import "fmt"
+
+// Runtime assertion hooks for the ringdebug build tag, called behind
+// `if ringdebugEnabled { ... }` so normal builds eliminate them entirely.
+// They are the dynamic counterpart of the refpair static analyzer: the
+// analyzer proves every acquire has a release on every path; these
+// assertions prove the counts actually balance at run time — including
+// through code paths (finalizers, snapshot installs) the per-function
+// analysis cannot follow.
+
+// debugCountRetainLocked and debugCountReleaseLocked maintain the
+// lifetime totals (r.mu held).
+func (r *Region) debugCountRetainLocked()  { r.debugRetains++ }
+func (r *Region) debugCountReleaseLocked() { r.debugReleases++ }
+
+// debugCheckBalanceLocked asserts, at the release that unmaps, that the
+// lifetime totals balance: the initial Map reference plus every Retain
+// equals every Release. refs reaching zero already implies this when all
+// mutations go through Retain/Release; a mismatch means something
+// touched refs directly.
+func (r *Region) debugCheckBalanceLocked() {
+	if 1+r.debugRetains != r.debugReleases {
+		panic(fmt.Sprintf("ringdebug: mman: refcount imbalance unmapping %s: 1 map + %d retains != %d releases",
+			r.path, r.debugRetains, r.debugReleases))
+	}
+}
+
+// debugCheckAlive asserts the region still holds references — a view
+// read after the last Release is a use-after-unmap, which on a real
+// mapping is a SIGSEGV waiting for an unlucky page.
+func (r *Region) debugCheckAlive(op string) {
+	r.mu.Lock()
+	refs := r.refs
+	r.mu.Unlock()
+	if refs <= 0 {
+		panic(fmt.Sprintf("ringdebug: mman: %s on %s after the region was unmapped", op, r.path))
+	}
+}

@@ -26,12 +26,17 @@ import (
 // Region is a read-only view of one file, either memory-mapped or read
 // into an anonymous slice (see Mapped).
 type Region struct {
-	data   []byte
-	path   string
-	mapped bool
+	data   []byte //ringlint:guarded-by mu
+	path   string // immutable after Map
+	mapped bool   //ringlint:guarded-by mu
 
 	mu   sync.Mutex
-	refs int
+	refs int //ringlint:guarded-by mu
+
+	// Lifetime totals for the ringdebug refcount-balance assertion;
+	// only maintained when ringdebugEnabled.
+	debugRetains  int //ringlint:guarded-by mu
+	debugReleases int //ringlint:guarded-by mu
 }
 
 // Map opens path read-only and maps (or on fallback platforms, reads)
@@ -47,14 +52,24 @@ func Map(path string) (*Region, error) {
 // Bytes returns the mapped contents. The slice aliases the mapping: it
 // must not be written to, and it becomes invalid once the refcount
 // reaches zero.
-func (r *Region) Bytes() []byte { return r.data }
+func (r *Region) Bytes() []byte {
+	if ringdebugEnabled {
+		r.debugCheckAlive("Bytes")
+	}
+	return r.data //ringlint:allow guardedby -- caller holds a reference; data only changes when refs reaches zero
+}
 
 // Len returns the mapped length in bytes.
-func (r *Region) Len() int { return len(r.data) }
+func (r *Region) Len() int {
+	if ringdebugEnabled {
+		r.debugCheckAlive("Len")
+	}
+	return len(r.data) //ringlint:allow guardedby -- caller holds a reference; data only changes when refs reaches zero
+}
 
 // Mapped reports whether the bytes are a real file mapping (false on
 // fallback platforms and for empty files).
-func (r *Region) Mapped() bool { return r.mapped }
+func (r *Region) Mapped() bool { return r.mapped } //ringlint:allow guardedby -- caller holds a reference; mapped only changes when refs reaches zero
 
 // Path returns the file the region was mapped from.
 func (r *Region) Path() string { return r.path }
@@ -67,6 +82,9 @@ func (r *Region) Retain() *Region {
 		panic("mman: Retain after the region was unmapped")
 	}
 	r.refs++
+	if ringdebugEnabled {
+		r.debugCountRetainLocked()
+	}
 	return r
 }
 
@@ -79,8 +97,14 @@ func (r *Region) Release() error {
 		return fmt.Errorf("mman: Release of already-unmapped region %s", r.path)
 	}
 	r.refs--
+	if ringdebugEnabled {
+		r.debugCountReleaseLocked()
+	}
 	if r.refs > 0 {
 		return nil
+	}
+	if ringdebugEnabled {
+		r.debugCheckBalanceLocked()
 	}
 	return r.unmapLocked()
 }

@@ -1,0 +1,7 @@
+//go:build ringdebug
+
+package mman
+
+// ringdebugEnabled gates the runtime assertion hooks in debug.go. This
+// build carries the ringdebug tag, so the assertions are compiled in.
+const ringdebugEnabled = true

@@ -1,0 +1,68 @@
+//go:build ringdebug
+
+package mman
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func debugRegion(t *testing.T) *Region {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "region.bin")
+	if err := os.WriteFile(path, []byte("ringdebug region payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Map(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestDebugBalancedLifetime: a balanced retain/release history unmaps
+// without tripping the balance assertion.
+func TestDebugBalancedLifetime(t *testing.T) {
+	r := debugRegion(t)
+	r.Retain()
+	r.Retain()
+	for i := 0; i < 3; i++ {
+		if err := r.Release(); err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+	}
+	if r.Refs() != 0 {
+		t.Fatalf("refs = %d after balanced lifetime, want 0", r.Refs())
+	}
+}
+
+// TestDebugUseAfterUnmapPanics: reading a view after the last release
+// must panic under ringdebug instead of waiting for an unlucky page
+// fault in production.
+func TestDebugUseAfterUnmapPanics(t *testing.T) {
+	r := debugRegion(t)
+	if err := r.Release(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bytes() after the last Release did not panic under ringdebug")
+		}
+	}()
+	_ = r.Bytes()
+}
+
+// TestDebugLenAfterUnmapPanics: Len is a view read too.
+func TestDebugLenAfterUnmapPanics(t *testing.T) {
+	r := debugRegion(t)
+	if err := r.Release(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Len() after the last Release did not panic under ringdebug")
+		}
+	}()
+	_ = r.Len()
+}

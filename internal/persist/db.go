@@ -52,24 +52,25 @@ type DB struct {
 
 	// wmu serialises writers: WAL enqueue order equals apply order.
 	wmu    sync.Mutex
-	closed bool
+	closed bool //ringlint:guarded-by wmu
 
 	// dictMu guards the growing dictionary (writers hold it briefly to
 	// encode; readers to decode results).
 	dictMu sync.RWMutex
-	d      *dict.Dictionary
+	d      *dict.Dictionary //ringlint:guarded-by dictMu
 
 	store *dynamic.Store
 	wal   *wal
 
 	// cpMu serialises checkpoints and guards the manifest bookkeeping.
 	cpMu sync.Mutex
-	man  *manifest
+	man  *manifest //ringlint:guarded-by cpMu
 	// ringFiles maps in-memory rings to their on-disk files, by pointer
 	// identity: a merged or rebuilt ring is a new pointer and gets a new
 	// file at the next checkpoint. Rebuilt from the manifest at Open;
 	// never serialized itself.
 	//ringlint:derived
+	//ringlint:guarded-by cpMu
 	ringFiles map[*ring.Ring]ringRef
 	// regions maps view-loaded rings to their file mappings (Mmap mode
 	// only), by pointer identity; guarded by cpMu. The entry keeps ring
@@ -78,6 +79,7 @@ type DB struct {
 	// when the last snapshot lets go of the ring. Rebuilt at Open, never
 	// serialized.
 	//ringlint:derived
+	//ringlint:guarded-by cpMu
 	regions map[*ring.Ring]*mman.Region
 
 	kickCh chan struct{}
@@ -219,14 +221,14 @@ func (db *DB) recover() (nextSeg, nextBatch uint64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	nextSeg = db.man.WALFloor
+	nextSeg = db.man.WALFloor //ringlint:allow guardedby -- recovery runs inside Open, before the DB is shared
 	if nextSeg == 0 {
 		nextSeg = 1
 	}
 	nextBatch = 1
 	live := segs[:0]
 	for _, seq := range segs {
-		if seq >= db.man.WALFloor {
+		if seq >= db.man.WALFloor { //ringlint:allow guardedby -- recovery runs inside Open, before the DB is shared
 			live = append(live, seq)
 		}
 	}

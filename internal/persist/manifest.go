@@ -85,11 +85,11 @@ func (m *manifest) install(dir string) error {
 		return err
 	}
 	if _, err := f.Write(m.encode()); err != nil {
-		f.Close()
+		f.Close() //ringlint:allow syncio -- best-effort close; the write error already fails the install
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		f.Close() //ringlint:allow syncio -- best-effort close; the sync error already fails the install
 		return err
 	}
 	if err := f.Close(); err != nil {

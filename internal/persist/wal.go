@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -149,7 +150,7 @@ type wal struct {
 	dir string
 
 	mu        sync.Mutex // guards closed + enqueue vs Close
-	closed    bool
+	closed    bool       //ringlint:guarded-by mu
 	reqCh     chan *walReq
 	wg        sync.WaitGroup
 	failed    atomic.Pointer[error] // first write/sync error; sticky
@@ -160,10 +161,20 @@ type wal struct {
 	segment   atomic.Uint64
 
 	// commit-goroutine state
-	f         *os.File
+	f         walFile
 	bw        *bufio.Writer
 	seq       uint64
 	nextBatch uint64
+}
+
+// walFile is the committer's handle on the active segment: *os.File in
+// production, a fake in tests that need Close to fail after a clean
+// Sync (the shape write-back storage produces when deferred errors
+// surface only at close).
+type walFile interface {
+	io.Writer
+	Sync() error
+	Close() error
 }
 
 type walReq struct {
@@ -238,11 +249,11 @@ func (w *wal) openSegment(seq uint64) error {
 	copy(hdr[:8], segMagic)
 	binary.LittleEndian.PutUint64(hdr[8:], seq)
 	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
+		f.Close() //ringlint:allow syncio -- best-effort close; the write error already fails the open
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		f.Close() //ringlint:allow syncio -- best-effort close; the sync error already fails the open
 		return err
 	}
 	w.f = f
@@ -455,11 +466,17 @@ func (w *wal) sync() error {
 	return nil
 }
 
+// finish seals the active segment on shutdown. The close error must be
+// recorded: on write-back storage a deferred I/O error can surface only
+// at close, and Close() returns w.err() — dropping it here would hand
+// the caller a clean shutdown for bytes the kernel never kept.
 func (w *wal) finish() {
 	if w.err() == nil {
 		w.sync()
 	}
-	w.f.Close()
+	if err := w.f.Close(); err != nil {
+		w.fail(err)
+	}
 }
 
 // --- record encoding ---

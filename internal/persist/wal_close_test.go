@@ -1,0 +1,32 @@
+package persist
+
+import (
+	"bufio"
+	"errors"
+	"testing"
+)
+
+// failCloseFile is a walFile whose Sync succeeds but whose Close fails —
+// the shape write-back storage produces when a deferred I/O error
+// surfaces only at close time.
+type failCloseFile struct {
+	closeErr error
+}
+
+func (f *failCloseFile) Write(p []byte) (int, error) { return len(p), nil }
+func (f *failCloseFile) Sync() error                 { return nil }
+func (f *failCloseFile) Close() error                { return f.closeErr }
+
+// TestWALFinishPropagatesCloseError: finish() must record the segment
+// close error. wal.Close() reports w.err() after the committer drains;
+// a discarded close error there hands the caller a clean shutdown for
+// bytes the kernel never promised to keep.
+func TestWALFinishPropagatesCloseError(t *testing.T) {
+	sentinel := errors.New("deferred write-back failure at close")
+	f := &failCloseFile{closeErr: sentinel}
+	w := &wal{f: f, bw: bufio.NewWriter(f), fsyncHist: newLatencyHist(fsyncBuckets)}
+	w.finish()
+	if err := w.err(); !errors.Is(err, sentinel) {
+		t.Fatalf("finish() discarded the close error: err() = %v, want %v", err, sentinel)
+	}
+}

@@ -23,10 +23,10 @@ var errQueueFull = errors.New("server: admission queue full")
 // prevents starvation of expensive queries under a stream of cheap ones.
 type admission struct {
 	mu       sync.Mutex
-	capacity int
-	used     int
-	maxQueue int
-	waiters  *list.List // of *waiter, FIFO
+	capacity int        // immutable after construction
+	used     int        //ringlint:guarded-by mu
+	maxQueue int        // immutable after construction
+	waiters  *list.List // of *waiter, FIFO //ringlint:guarded-by mu
 }
 
 type waiter struct {

@@ -14,13 +14,13 @@ import (
 // generation wholesale.
 type resultCache struct {
 	mu         sync.Mutex
-	maxEntries int
-	maxBytes   int64
-	bytes      int64
-	ll         *list.List // MRU at front; values are *cacheEntry
-	items      map[string]*list.Element
+	maxEntries int                      // immutable after construction
+	maxBytes   int64                    // immutable after construction
+	bytes      int64                    //ringlint:guarded-by mu
+	ll         *list.List               // MRU at front; values are *cacheEntry //ringlint:guarded-by mu
+	items      map[string]*list.Element //ringlint:guarded-by mu
 
-	hits, misses, evictions, invalidations int64
+	hits, misses, evictions, invalidations int64 //ringlint:guarded-by mu
 }
 
 type cacheEntry struct {

@@ -1,0 +1,39 @@
+package server
+
+import "fmt"
+
+// Runtime assertion hooks for the ringdebug build tag, called behind
+// `if ringdebugEnabled { ... }` so normal builds eliminate them
+// entirely. They are the dynamic counterpart of the guardedby/golife
+// static analyzers on the shared-scan registry: the analyzers prove the
+// lock discipline; these assertions prove the membership accounting
+// balances at run time across the leader/follower/watchdog interleavings.
+
+// debugCheckMembersLocked asserts the membership count never goes
+// negative: a negative count means some path called leave twice for one
+// attach, which would cancel a group other members still wait on.
+func (sc *sharedScans) debugCheckMembersLocked(g *scanGroup) {
+	if g.members < 0 {
+		panic(fmt.Sprintf("ringdebug: server: shared-scan group members = %d (leave without matching join)", g.members))
+	}
+}
+
+// debugCheckFinishLocked asserts a group publishes exactly once — a
+// second finish would close(done) twice and crash far from the culprit.
+func (sc *sharedScans) debugCheckFinishLocked(g *scanGroup) {
+	if g.finished {
+		panic("ringdebug: server: shared-scan group finished twice")
+	}
+}
+
+// debugCheckDrained asserts the registry holds no in-flight groups —
+// every member drained. Called from tests at points where the serving
+// tier should be quiescent.
+func (sc *sharedScans) debugCheckDrained() {
+	sc.mu.Lock()
+	n := len(sc.m)
+	sc.mu.Unlock()
+	if n != 0 {
+		panic(fmt.Sprintf("ringdebug: server: %d shared-scan group(s) still registered after drain", n))
+	}
+}

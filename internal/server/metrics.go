@@ -36,7 +36,7 @@ func (g *gauge) value() int64 { return g.v.Load() }
 // by the pre-rendered label string (e.g. `endpoint="query",code="200"`).
 type labeledCounter struct {
 	mu sync.Mutex
-	m  map[string]*counter
+	m  map[string]*counter //ringlint:guarded-by mu
 }
 
 func (lc *labeledCounter) get(labels string) *counter {

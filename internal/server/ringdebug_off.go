@@ -1,0 +1,8 @@
+//go:build !ringdebug
+
+package server
+
+// ringdebugEnabled gates the runtime assertion hooks in debug.go. Without
+// the ringdebug build tag the constant is false and every assertion block
+// is eliminated as dead code.
+const ringdebugEnabled = false

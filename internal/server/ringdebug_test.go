@@ -1,0 +1,50 @@
+//go:build ringdebug
+
+package server
+
+import "testing"
+
+// TestDebugSharedScanAccounting exercises the ringdebug assertions on
+// the shared-scan registry: balanced join/leave/finish histories pass,
+// and the two invariant violations (negative members, double finish)
+// panic.
+func TestDebugSharedScanAccounting(t *testing.T) {
+	t.Run("balanced", func(t *testing.T) {
+		sc := &sharedScans{}
+		g, leader := sc.join("k", 10)
+		if !leader {
+			t.Fatal("first join was not the leader")
+		}
+		if _, leader := sc.join("k", 5); leader {
+			t.Fatal("second join was not a follower")
+		}
+		sc.leave(g)
+		sc.finish("k", g)
+		sc.leave(g)
+		sc.debugCheckDrained()
+	})
+
+	t.Run("negative members panics", func(t *testing.T) {
+		sc := &sharedScans{}
+		g, _ := sc.join("k", 10)
+		sc.leave(g)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("leave past zero members did not panic under ringdebug")
+			}
+		}()
+		sc.leave(g)
+	})
+
+	t.Run("double finish panics", func(t *testing.T) {
+		sc := &sharedScans{}
+		g, _ := sc.join("k", 10)
+		sc.finish("k", g)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second finish did not panic under ringdebug")
+			}
+		}()
+		sc.finish("k", g)
+	})
+}

@@ -42,12 +42,13 @@ import (
 // written by the leader strictly before done closes and are immutable
 // afterwards; everything else is guarded by sharedScans.mu.
 type scanGroup struct {
-	need     int  // offset+limit ceiling the leader evaluates to
-	members  int  // attached requests still waiting; guarded by sharedScans.mu
-	fanout   int  // followers that ever attached; guarded by sharedScans.mu
-	finished bool // results published; guarded by sharedScans.mu
+	need     int  // offset+limit ceiling the leader evaluates to; immutable after join creates the group
+	members  int  // attached requests still waiting //ringlint:guarded-by sharedScans.mu
+	fanout   int  // followers that ever attached //ringlint:guarded-by sharedScans.mu
+	finished bool // results published //ringlint:guarded-by sharedScans.mu
 
-	done   chan struct{} // closed once results (or failure) are published
+	done chan struct{} // closed once results (or failure) are published
+	//ringlint:guarded-by sharedScans.mu
 	cancel context.CancelFunc
 
 	// Published by the leader before close(done):
@@ -67,7 +68,7 @@ type scanGroup struct {
 // their results publish, so the map only ever holds live evaluations.
 type sharedScans struct {
 	mu sync.Mutex
-	m  map[string]*scanGroup
+	m  map[string]*scanGroup //ringlint:guarded-by mu
 }
 
 // join attaches to the group for key, or creates it. Returns (g, true)
@@ -106,6 +107,9 @@ func (sc *sharedScans) setCancel(g *scanGroup, cancel context.CancelFunc) {
 func (sc *sharedScans) leave(g *scanGroup) {
 	sc.mu.Lock()
 	g.members--
+	if ringdebugEnabled {
+		sc.debugCheckMembersLocked(g)
+	}
 	cancel := g.cancel
 	abandon := g.members == 0 && !g.finished
 	sc.mu.Unlock()
@@ -118,6 +122,9 @@ func (sc *sharedScans) leave(g *scanGroup) {
 // arrivals start a fresh group) and wakes every waiter.
 func (sc *sharedScans) finish(key string, g *scanGroup) {
 	sc.mu.Lock()
+	if ringdebugEnabled {
+		sc.debugCheckFinishLocked(g)
+	}
 	delete(sc.m, key)
 	g.finished = true
 	sc.mu.Unlock()
@@ -156,6 +163,7 @@ func (s *Server) trySharedScan(w http.ResponseWriter, r *http.Request, idx index
 // leader's own request context, then the stripped pattern-only Select
 // under the group context, then fan-out.
 func (s *Server) leadScan(w http.ResponseWriter, r *http.Request, idx index, req *QueryRequest, sel query.Select, key string, g *scanGroup, cacheKey string, cacheable bool, predVars map[string]bool, start time.Time) {
+	//ringlint:detach -- the group outlives its leader; cancellation is member-count-driven, not request-driven
 	gctx, gcancel := context.WithCancel(context.Background())
 	s.scans.setCancel(g, gcancel)
 	defer gcancel()
@@ -220,7 +228,7 @@ func (s *Server) leadScan(w http.ResponseWriter, r *http.Request, idx index, req
 	// fanout is stable after finish: the group has left the registry, so
 	// no further join can touch it. A lone leader is just the solo path
 	// with extra steps; only real fan-outs count as groups.
-	if g.fanout > 0 {
+	if g.fanout > 0 { //ringlint:allow guardedby -- stable after finish: the group has left the registry
 		s.met.sharedGroups.inc()
 	}
 	s.respondFromGroup(w, idx, req, sel, g, cacheKey, cacheable, predVars, start, false)
@@ -247,6 +255,19 @@ func (s *Server) followScan(w http.ResponseWriter, r *http.Request, idx index, r
 func (s *Server) respondFromGroup(w http.ResponseWriter, idx index, req *QueryRequest, sel query.Select, g *scanGroup, cacheKey string, cacheable bool, predVars map[string]bool, start time.Time, shared bool) {
 	switch {
 	case g.failCode == statusClientClosedRequest:
+		if shared {
+			// The leader's client going away during the admission wait is
+			// not the follower's doing: mirroring the 499 would tell a
+			// still-connected client that *it* hung up. Shed the follower
+			// retryably instead — a retry lands on a fresh group (the old
+			// one left the registry at finish) with a new leader.
+			s.met.queries.get(`outcome="shed"`).inc()
+			s.met.shed.get(`reason="leader_cancelled"`).inc()
+			w.Header().Set("Retry-After", "1")
+			jsonError(w, http.StatusServiceUnavailable,
+				"shared-scan leader cancelled during admission wait; retry")
+			return
+		}
 		s.met.queries.get(`outcome="cancelled"`).inc()
 		w.WriteHeader(statusClientClosedRequest)
 		return

@@ -360,3 +360,78 @@ func TestSharedScanTimeoutFanout(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedScanLeaderDisconnectShedsFollowers: when the leader's client
+// disconnects while the leader is waiting for admission, the followers
+// must NOT inherit the leader's 499 — their clients are still connected.
+// They are shed retryably (503 + Retry-After) so a retry starts a fresh
+// group with a live leader.
+func TestSharedScanLeaderDisconnectShedsFollowers(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Store:         heavyStore(t),
+		MaxConcurrent: 1,
+		MaxQueue:      4,
+		QueueWait:     5 * time.Second,
+		CacheEntries:  -1,
+	})
+	wait := startPlug(t, ts.URL, 600)
+
+	// The leader joins first, with a client we can hang up.
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(QueryRequest{Pattern: sharedMix()})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // leader attached, waiting for admission
+
+	// Two followers attach to the leader's group.
+	type result struct {
+		code    int
+		retry   string
+		message string
+	}
+	followers := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				followers <- result{code: -1, message: err.Error()}
+				return
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			followers <- result{code: resp.StatusCode, retry: resp.Header.Get("Retry-After"), message: string(b)}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond) // followers attached
+
+	cancel() // the leader's client goes away mid-admission-wait
+	<-leaderDone
+
+	for i := 0; i < 2; i++ {
+		r := <-followers
+		if r.code != http.StatusServiceUnavailable {
+			t.Fatalf("follower %d: status %d (%s), want 503: a follower must not inherit the leader's 499",
+				i, r.code, r.message)
+		}
+		if r.retry == "" {
+			t.Errorf("follower %d: 503 without Retry-After", i)
+		}
+	}
+	wait()
+
+	metrics, _ := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, `reason="leader_cancelled"`) {
+		t.Fatalf("metrics missing the leader_cancelled shed reason:\n%s", metrics)
+	}
+}

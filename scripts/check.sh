@@ -24,7 +24,14 @@ echo "== go vet"
 go vet ./...
 
 echo "== ringlint"
-go run ./cmd/ringlint ./...
+# Fails fast (set -eu) before the build/test lanes; -timing prints the
+# per-analyzer wall times of the parallel run. RINGLINT_JSON=path makes
+# the findings+timings report machine readable for CI artifacts.
+if [ -n "${RINGLINT_JSON:-}" ]; then
+    go run ./cmd/ringlint -json ./... > "$RINGLINT_JSON"
+else
+    go run ./cmd/ringlint -timing ./...
+fi
 
 echo "== go build"
 go build ./...
