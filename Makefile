@@ -39,18 +39,21 @@
 #   make mmap-smoke       end-to-end zero-copy smoke: ringstats layout,
 #                         decode-vs-mmap differential serving across a
 #                         restart, live mode with view-loaded checkpoints
+#   make repl-smoke       end-to-end replication smoke: leader + follower,
+#                         lag to zero, read-your-writes via X-Ring-Min-Seq,
+#                         leader kill, promote, clean drain
 #   make race-batch  batched lane (wavelet/ring/ltj) under -race with the
 #               ringdebug assertions enabled
 #   make check  fmt + vet + lint + build + test + test-debug + race +
 #               race-batch + bench-smoke + bench-batch + serve-smoke +
-#               persist-smoke + mmap-smoke
+#               persist-smoke + mmap-smoke + repl-smoke
 
 GO ?= go
 BENCH_COUNT ?= 1
 
-.PHONY: check fmt vet lint lint-only build test test-debug race race-batch bench bench-smoke bench-substrate bench-serve bench-batch bench-mmap-load serve-smoke persist-smoke mmap-smoke
+.PHONY: check fmt vet lint lint-only build test test-debug race race-batch bench bench-smoke bench-substrate bench-serve bench-batch bench-mmap-load serve-smoke persist-smoke mmap-smoke repl-smoke
 
-check: fmt vet lint build test test-debug race race-batch bench-smoke bench-batch serve-smoke persist-smoke mmap-smoke
+check: fmt vet lint build test test-debug race race-batch bench-smoke bench-batch serve-smoke persist-smoke mmap-smoke repl-smoke
 
 fmt:
 	@unformatted=$$(gofmt -s -l .); \
@@ -100,7 +103,7 @@ bench-substrate:
 
 bench-serve:
 	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json \
-		$(GO) test -run '^$$' -bench BenchmarkServe -benchtime 2s ./internal/server
+		$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkReplFanout' -benchtime 2s ./internal/server
 
 bench-batch:
 	BENCH_BATCH_JSON=$(CURDIR)/BENCH_batch_leap.json \
@@ -117,3 +120,6 @@ persist-smoke:
 
 mmap-smoke:
 	sh scripts/mmap_smoke.sh
+
+repl-smoke:
+	sh scripts/repl_smoke.sh

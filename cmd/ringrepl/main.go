@@ -1,0 +1,180 @@
+// Command ringrepl operates the replication side of a ringserve
+// deployment from the command line:
+//
+//	ringrepl promote -addr 127.0.0.1:8081
+//	ringrepl status  -addr 127.0.0.1:8081
+//	ringrepl status  -data-dir ./replica
+//
+// promote POSTs /repl/promote on a follower's client address: the
+// follower stops tailing, verifies it has applied every leader batch it
+// ever heard of (409 Conflict otherwise), drains applies to durability,
+// seals its WAL with a checkpoint, and flips writable.
+//
+// status prints the replication position either from a running server's
+// /stats (live view) or, with -data-dir, from the advisory REPL position
+// file and the on-disk manifest/WAL of a stopped follower.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/repl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ringrepl: ")
+
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "promote":
+		promote(args)
+	case "status":
+		status(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ringrepl promote -addr host:port [-timeout 30s]
+  ringrepl status  -addr host:port | -data-dir DIR`)
+}
+
+// clientURL normalizes a client-facing address to a full URL.
+func clientURL(addr, path string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimSuffix(addr, "/") + path
+}
+
+func promote(args []string) {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	addr := fs.String("addr", "", "client address of the follower to promote (host:port)")
+	timeout := fs.Duration("timeout", 30*time.Second, "overall deadline for the promote request")
+	fs.Parse(args)
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "ringrepl: promote requires -addr")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Post(clientURL(*addr, "/repl/promote"), "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("promote failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var out struct {
+		Role       string `json:"role"`
+		AppliedSeq uint64 `json:"applied_seq"`
+		DurableSeq uint64 `json:"durable_seq"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		log.Fatalf("promote: bad response: %v", err)
+	}
+	fmt.Printf("promoted: role=%s applied_seq=%d durable_seq=%d\n", out.Role, out.AppliedSeq, out.DurableSeq)
+}
+
+func status(args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	addr := fs.String("addr", "", "client address of a running ringserve (host:port)")
+	dataDir := fs.String("data-dir", "", "inspect a stopped follower's data directory instead")
+	fs.Parse(args)
+	if (*addr == "") == (*dataDir == "") {
+		fmt.Fprintln(os.Stderr, "ringrepl: status requires exactly one of -addr or -data-dir")
+		os.Exit(2)
+	}
+	if *dataDir != "" {
+		statusDir(*dataDir)
+		return
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(clientURL(*addr, "/stats"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("stats failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var stats struct {
+		Repl *struct {
+			Follower *repl.Info `json:"follower"`
+			Streams  *int64     `json:"streams"`
+		} `json:"repl"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		log.Fatalf("stats: bad response: %v", err)
+	}
+	if stats.Repl == nil {
+		fmt.Println("replication: not configured")
+		return
+	}
+	if stats.Repl.Streams != nil {
+		fmt.Printf("leader: %d open replication streams\n", *stats.Repl.Streams)
+	}
+	if f := stats.Repl.Follower; f != nil {
+		fmt.Printf("role:        %s\n", f.Role)
+		fmt.Printf("leader:      %s", f.Leader)
+		if f.LeaderAddr != "" {
+			fmt.Printf(" (clients: %s)", f.LeaderAddr)
+		}
+		fmt.Println()
+		fmt.Printf("connected:   %v   writable: %v   parked: %v\n", f.Connected, f.Writable, f.Parked)
+		fmt.Printf("applied seq: %d   durable seq: %d   leader seq: %d\n", f.AppliedSeq, f.DurableSeq, f.LeaderSeq)
+		fmt.Printf("lag:         %d batches, %.1fs\n", f.LagBatches, f.LagSeconds)
+		if f.LastErr != "" {
+			fmt.Printf("last error:  %s\n", f.LastErr)
+		}
+	}
+}
+
+// statusDir reports the position of a stopped follower from its advisory
+// REPL file; safe against a running server (read-only).
+func statusDir(dir string) {
+	pos, err := repl.ReadPosition(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if pos == nil {
+		fmt.Println("replication: no position file (not a follower data dir, or never connected)")
+		return
+	}
+	role := "follower (read-only)"
+	if pos.Writable {
+		role = "promoted leader (writable)"
+	}
+	fmt.Printf("role:        %s\n", role)
+	fmt.Printf("leader:      %s", pos.Leader)
+	if pos.LeaderAddr != "" {
+		fmt.Printf(" (clients: %s)", pos.LeaderAddr)
+	}
+	fmt.Println()
+	lag := int64(pos.LeaderSeq) - int64(pos.AppliedSeq)
+	if lag < 0 {
+		lag = 0
+	}
+	fmt.Printf("applied seq: %d   leader seq: %d   lag: %d batches\n", pos.AppliedSeq, pos.LeaderSeq, lag)
+	fmt.Printf("as of:       %s\n", time.UnixMilli(pos.UpdatedMs).UTC().Format(time.RFC3339))
+}

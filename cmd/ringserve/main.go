@@ -13,6 +13,18 @@
 // write-ahead log are recovered before /readyz flips, and POST /insert
 // and /delete append durably (200 after fsync, 202 when "sync": false).
 //
+// Replication (live mode):
+//
+//	ringserve -data-dir ./primary -repl-listen :7001            # leader
+//	ringserve -data-dir ./replica -follow 127.0.0.1:7001        # read replica
+//
+// A leader with -repl-listen serves its snapshot files and a durable WAL
+// stream to followers. A follower bootstraps from that endpoint, tails
+// the WAL through the normal replay path, and serves read-only queries;
+// mutations answer 421 with the leader's address, X-Ring-Min-Seq gives
+// read-your-writes, and POST /repl/promote flips it into a writable
+// leader after verifying it is caught up.
+//
 // Endpoints:
 //
 //	POST /query             {"pattern":[{"s":"?x","p":"winner","o":"?y"}], "limit":10}
@@ -51,6 +63,7 @@ import (
 	wcoring "repro"
 	"repro/internal/mman"
 	"repro/internal/persist"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -76,14 +89,28 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache approximate byte bound")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "hard deadline for in-flight queries after SIGTERM")
 	noSharedScan := flag.Bool("no-shared-scan", false, "disable shared-scan batching of identical concurrent cache-miss queries")
+	replListen := flag.String("repl-listen", "", "live mode: serve the replication endpoint (snapshot + WAL stream) on this address")
+	follow := flag.String("follow", "", "follower mode: bootstrap from and tail this leader replication address (host:port)")
+	advertise := flag.String("advertise", "", "client-facing address advertised to followers for mutation redirects (default: -addr)")
+	maxReplicaLag := flag.Duration("max-replica-lag", 30*time.Second, "follower mode: /readyz turns 503 when known replication lag exceeds this")
 	flag.Parse()
 	if (*index == "") == (*dataDir == "") {
 		fmt.Fprintln(os.Stderr, "ringserve: exactly one of -index or -data-dir is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	if (*replListen != "" || *follow != "") && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "ringserve: -repl-listen and -follow require -data-dir (live mode)")
+		os.Exit(2)
+	}
 	if *parallel < 0 {
 		*parallel = runtime.GOMAXPROCS(0)
+	}
+	if *advertise == "" {
+		*advertise = *addr
+		if len(*advertise) > 0 && (*advertise)[0] == ':' {
+			*advertise = "127.0.0.1" + *advertise
+		}
 	}
 
 	srv, err := server.New(server.Config{
@@ -98,6 +125,7 @@ func main() {
 		CacheEntries:      *cacheEntries,
 		CacheBytes:        *cacheBytes,
 		DisableSharedScan: *noSharedScan,
+		MaxReplicaLag:     *maxReplicaLag,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -108,11 +136,18 @@ func main() {
 	// live mode this is WAL + manifest recovery; liveDB is published for
 	// the drain path to close (final checkpoint + WAL seal).
 	var liveDB atomic.Pointer[persist.DB]
+	var follower atomic.Pointer[repl.Follower]
 	loadErr := make(chan error, 1)
-	if *dataDir != "" {
+	switch {
+	case *follow != "":
+		srv.ExpectLive() // mutations 503 (retryable), not 501, during bootstrap
+		go func() {
+			loadErr <- openFollower(srv, &liveDB, &follower, *dataDir, *follow, *memtable, *maxRings, *useMmap)
+		}()
+	case *dataDir != "":
 		srv.ExpectLive() // mutations 503 (retryable), not 501, during recovery
 		go func() { loadErr <- openLive(srv, &liveDB, *dataDir, *memtable, *maxRings, *useMmap) }()
-	} else {
+	default:
 		go func() { loadErr <- loadStore(srv, *index, *useMmap) }()
 	}
 
@@ -127,7 +162,14 @@ func main() {
 	if *dataDir != "" {
 		source = *dataDir + " (live)"
 	}
+	if *follow != "" {
+		source = *dataDir + " (follower of " + *follow + ")"
+	}
 	log.Printf("listening on %s (%s loading)", *addr, source)
+
+	// The replication endpoint starts only after the local store is open:
+	// its handlers serve that store's manifest and WAL.
+	var replSrv *http.Server
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -141,6 +183,22 @@ func main() {
 				os.Exit(1)
 			}
 			log.Printf("index ready")
+			if *replListen != "" {
+				leader := repl.NewLeader(liveDB.Load(), repl.LeaderOptions{Advertise: *advertise})
+				srv.SetReplLeader(leader)
+				replSrv = &http.Server{
+					Addr:              *replListen,
+					Handler:           leader.Handler(),
+					ReadHeaderTimeout: 10 * time.Second,
+				}
+				//ringlint:goroutine-exception -- exits when drain calls replSrv.Close(); the error branch only logs
+				go func(rs *http.Server) {
+					if err := rs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+						log.Printf("replication listener failed: %v", err)
+					}
+				}(replSrv)
+				log.Printf("replication endpoint on %s (advertising %s)", *replListen, *advertise)
+			}
 		case err := <-serveErr:
 			if !errors.Is(err, http.ErrServerClosed) {
 				log.Fatal(err)
@@ -153,13 +211,18 @@ func main() {
 			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 			err := httpSrv.Shutdown(ctx)
 			cancel()
+			if replSrv != nil {
+				// WAL streams are long-lived by design: abort them rather
+				// than waiting (followers reconnect and resume by sequence).
+				replSrv.Close()
+			}
 			if err != nil {
 				log.Printf("drain deadline exceeded, closing: %v", err)
 				httpSrv.Close()
-				closeLive(&liveDB)
+				closeNode(&liveDB, &follower)
 				os.Exit(1)
 			}
-			closeLive(&liveDB)
+			closeNode(&liveDB, &follower)
 			log.Printf("drain complete")
 			return
 		}
@@ -196,11 +259,66 @@ func openLive(srv *server.Server, slot *atomic.Pointer[persist.DB], dir string, 
 	return nil
 }
 
+// openFollower bootstraps (or resumes) a read replica from the leader's
+// replication endpoint, opens the local store through the normal recovery
+// path, and starts the WAL tail loop. /readyz flips only after the
+// self-check probe passes; mutations are redirected (421) to the leader.
+func openFollower(srv *server.Server, slot *atomic.Pointer[persist.DB], fslot *atomic.Pointer[repl.Follower], dir, leader string, memtable, maxRings int, useMmap bool) error {
+	start := time.Now()
+	f, err := repl.OpenFollower(repl.FollowerOptions{
+		Dir:    dir,
+		Leader: leader,
+		Open: persist.Options{
+			MemtableThreshold: memtable,
+			MaxRings:          maxRings,
+			Mmap:              useMmap,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("following %s: %w", leader, err)
+	}
+	db := f.DB()
+	if err := srv.SetLive(db); err != nil {
+		f.Close()
+		return err
+	}
+	srv.SetFollower(f)
+	f.Start()
+	fslot.Store(f)
+	slot.Store(db)
+	st := db.Stats()
+	srv.SetLoadInfo(server.LoadInfo{
+		Mode:        loadMode(useMmap),
+		BytesMapped: st.MappedBytes,
+		Regions:     st.MappedRings,
+		Seconds:     time.Since(start).Seconds(),
+	})
+	log.Printf("following %s from %s: %d triples, resuming at seq %d (mode %s) in %v",
+		leader, dir, st.Triples, db.NextSeq(), loadMode(useMmap), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
 func loadMode(useMmap bool) string {
 	if useMmap {
 		return "mmap"
 	}
 	return "decode"
+}
+
+// closeNode shuts down whichever store this process opened: the follower
+// (which stops the tail loop and closes its DB) or a plain live DB.
+// Never both — the follower owns its DB and closes it exactly once.
+func closeNode(slot *atomic.Pointer[persist.DB], fslot *atomic.Pointer[repl.Follower]) {
+	if f := fslot.Load(); f != nil {
+		start := time.Now()
+		if err := f.Close(); err != nil {
+			log.Printf("closing follower: %v", err)
+			return
+		}
+		log.Printf("follower stopped, data dir checkpointed and sealed in %v", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	closeLive(slot)
 }
 
 // closeLive checkpoints and seals the live DB, if one was opened. Runs

@@ -3,8 +3,9 @@
 // accounting, and — with -pattern — the on-the-fly cardinality estimate
 // of Section 4.3 for a triple pattern. With -data-dir it instead
 // inspects a live-update data directory (manifest version, per-ring
-// sizes, WAL segments and estimated recovery replay) without opening or
-// mutating it — safe against a running server.
+// sizes, WAL segments, estimated recovery replay, and — for a replica —
+// the replication position) without opening or mutating it — safe
+// against a running server.
 //
 // Usage:
 //
@@ -24,6 +25,7 @@ import (
 	wcoring "repro"
 	"repro/internal/mman"
 	"repro/internal/persist"
+	"repro/internal/repl"
 )
 
 func main() {
@@ -170,6 +172,28 @@ func inspectDataDir(dir string) {
 			s.Seq, s.Bytes, s.Batches, s.Ops, state)
 	}
 	fmt.Printf("estimated replay:    %d batches / %d ops on next open\n", rep.ReplayBatches, rep.ReplayOps)
+	fmt.Printf("durable seq:         %d (snapshot covers through %d)\n", rep.DurableSeq, rep.SnapshotLastSeq)
+	if pos, err := repl.ReadPosition(dir); err != nil {
+		log.Fatal(err)
+	} else if pos != nil {
+		role := "follower (read-only)"
+		if pos.Writable {
+			role = "promoted leader (writable)"
+		}
+		fmt.Printf("replication role:    %s\n", role)
+		fmt.Printf("replication leader:  %s", pos.Leader)
+		if pos.LeaderAddr != "" {
+			fmt.Printf(" (clients: %s)", pos.LeaderAddr)
+		}
+		fmt.Println()
+		lag := int64(pos.LeaderSeq) - int64(pos.AppliedSeq)
+		if lag < 0 {
+			lag = 0
+		}
+		fmt.Printf("replication seqs:    applied %d / leader %d (lag %d batches, as of %s)\n",
+			pos.AppliedSeq, pos.LeaderSeq, lag,
+			time.UnixMilli(pos.UpdatedMs).UTC().Format(time.RFC3339))
+	}
 }
 
 // patternCount resolves the string pattern and asks the ring for its

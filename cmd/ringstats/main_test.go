@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/persist"
+	"repro/internal/repl"
 )
 
 // TestDataDirInspection checks the read-only data-directory path: build
@@ -63,6 +65,70 @@ func TestDataDirInspection(t *testing.T) {
 		"triples (snapshot):  10",
 		"wal segments:",
 		"estimated replay:    1 batches / 10 ops",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ringstats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFollowerPositionOutput checks that inspecting a follower data dir
+// reports the durable sequence watermark and the advisory replication
+// position (leader, applied/leader seqs, lag).
+func TestFollowerPositionOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI inspection is slow")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not found")
+	}
+	dataDir := filepath.Join(t.TempDir(), "replica")
+	db, err := persist.Open(dataDir, persist.Options{NoBackground: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		ts := []dict.StringTriple{{S: fmt.Sprintf("s%d", i), P: "p0", O: "o"}}
+		if _, err := db.InsertBatch(ts, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The advisory position file a follower maintains: this replica has
+	// applied 7 of 9 known leader batches.
+	pos, err := json.Marshal(repl.Position{
+		Leader:     "10.0.0.1:7001",
+		LeaderAddr: "10.0.0.1:8080",
+		LeaderSeq:  9,
+		AppliedSeq: 7,
+		UpdatedMs:  1754610000000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dataDir, "REPL"), pos, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(goBin, "run", ".", "-data-dir", dataDir)
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Dir = wd
+	outB, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ringstats -data-dir: %v\n%s", err, outB)
+	}
+	out := string(outB)
+	for _, want := range []string{
+		"durable seq:         7",
+		"replication role:    follower (read-only)",
+		"replication leader:  10.0.0.1:7001 (clients: 10.0.0.1:8080)",
+		"replication seqs:    applied 7 / leader 9 (lag 2 batches",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("ringstats output missing %q:\n%s", want, out)

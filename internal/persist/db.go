@@ -3,6 +3,7 @@ package persist
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -86,6 +87,14 @@ type DB struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 
+	// appliedSeq is the highest batch sequence applied to the in-memory
+	// store (visibility watermark; durability is the WAL's lastDurable).
+	// Consistent reads wait on it via WaitApplied.
+	appliedSeq atomic.Uint64
+	// seqMu guards the WaitApplied waiter list.
+	seqMu      sync.Mutex
+	seqWaiters []seqWaiter //ringlint:guarded-by seqMu
+
 	checkpoints atomic.Uint64
 	// lastInstallNanos is the duration of the last checkpoint's install
 	// phase: mapping freshly written ring files, swapping them into the
@@ -131,6 +140,13 @@ type Stats struct {
 	RecoveryBatches    uint64
 	RecoveryOps        uint64
 	RecoveryTorn       bool
+	// AppliedSeq/DurableSeq are the replication watermarks: the highest
+	// batch sequence visible in memory and the highest fsynced locally.
+	AppliedSeq uint64
+	DurableSeq uint64
+	// SnapshotLastSeq is the manifest's LastSeq: the first batch a
+	// follower bootstrapping from this snapshot needs is SnapshotLastSeq+1.
+	SnapshotLastSeq uint64
 }
 
 // Open opens (or creates) the data directory: load the manifest's
@@ -201,6 +217,7 @@ func Open(dir string, opt Options) (*DB, error) {
 		db.store.Close()
 		return nil, err
 	}
+	db.appliedSeq.Store(nextBatch - 1)
 	if db.wal, err = openWAL(dir, nextSeg, nextBatch); err != nil {
 		db.store.Close()
 		return nil, err
@@ -225,7 +242,11 @@ func (db *DB) recover() (nextSeg, nextBatch uint64, err error) {
 	if nextSeg == 0 {
 		nextSeg = 1
 	}
-	nextBatch = 1
+	// The snapshot already covers batches up to the manifest's LastSeq;
+	// sequences must stay monotonic across checkpoints (and across a
+	// whole replica set), so numbering resumes there even when every
+	// covered segment has been garbage-collected.
+	nextBatch = db.man.LastSeq + 1 //ringlint:allow guardedby -- recovery runs inside Open, before the DB is shared
 	live := segs[:0]
 	for _, seq := range segs {
 		if seq >= db.man.WALFloor { //ringlint:allow guardedby -- recovery runs inside Open, before the DB is shared
@@ -344,18 +365,25 @@ func (db *DB) Close() error {
 // the caller accepted by not asking for sync. Returns how many triples
 // were actually new.
 func (db *DB) InsertBatch(ts []dict.StringTriple, sync bool) (int, error) {
-	return db.write(OpInsert, ts, sync)
+	applied, _, err := db.Mutate(OpInsert, ts, sync)
+	return applied, err
 }
 
 // DeleteBatch logs and removes triples; absent triples are no-ops. See
 // InsertBatch for the sync contract. Returns how many were removed.
 func (db *DB) DeleteBatch(ts []dict.StringTriple, sync bool) (int, error) {
-	return db.write(OpDelete, ts, sync)
+	applied, _, err := db.Mutate(OpDelete, ts, sync)
+	return applied, err
 }
 
-func (db *DB) write(kind OpKind, ts []dict.StringTriple, sync bool) (int, error) {
+// Mutate is the seq-reporting mutation entry point: like
+// InsertBatch/DeleteBatch, but it also returns the batch's WAL sequence
+// number. A client holding the seq can demand read-your-writes on any
+// replica ("wait until you have applied ≥ seq"); the seq is assigned at
+// enqueue, so it is valid for 202-queued batches too.
+func (db *DB) Mutate(kind OpKind, ts []dict.StringTriple, sync bool) (int, uint64, error) {
 	if len(ts) == 0 {
-		return 0, nil
+		return 0, db.appliedSeq.Load(), nil
 	}
 	ops := make([]Op, len(ts))
 	for i, t := range ts {
@@ -364,24 +392,97 @@ func (db *DB) write(kind OpKind, ts []dict.StringTriple, sync bool) (int, error)
 	db.wmu.Lock()
 	if db.closed {
 		db.wmu.Unlock()
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
 	// Enqueue before applying: WAL order equals apply order, and the ops
 	// become visible to readers while the fsync is still in flight —
 	// acknowledgement, not visibility, waits for durability.
-	promise, err := db.wal.enqueue(ops)
+	promise, err := db.wal.enqueue(ops, 0)
 	if err != nil {
 		db.wmu.Unlock()
-		return 0, err
+		return 0, 0, err
 	}
 	applied := db.applyOps(ops)
+	db.advanceApplied(promise.seq)
 	db.wmu.Unlock()
 	if sync {
 		if err := promise.wait(); err != nil {
-			return applied, err
+			return applied, promise.seq, err
 		}
 	}
-	return applied, nil
+	return applied, promise.seq, nil
+}
+
+// seqWaiter is one parked WaitApplied call.
+type seqWaiter struct {
+	seq uint64
+	ch  chan struct{}
+}
+
+// advanceApplied publishes a new applied watermark and releases every
+// waiter it satisfies. Caller holds wmu (the apply path), so watermarks
+// move monotonically.
+func (db *DB) advanceApplied(seq uint64) {
+	db.appliedSeq.Store(seq)
+	db.seqMu.Lock()
+	if len(db.seqWaiters) > 0 {
+		kept := db.seqWaiters[:0]
+		for _, w := range db.seqWaiters {
+			if w.seq <= seq {
+				close(w.ch)
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		db.seqWaiters = kept
+	}
+	db.seqMu.Unlock()
+}
+
+// AppliedSeq returns the highest batch sequence applied to the
+// in-memory store — the visibility watermark consistent reads compare
+// against.
+func (db *DB) AppliedSeq() uint64 { return db.appliedSeq.Load() }
+
+// DurableSeq returns the highest batch sequence whose WAL record is
+// fsynced locally.
+func (db *DB) DurableSeq() uint64 { return db.wal.lastDurable.Load() }
+
+// NextSeq returns the next batch sequence the log will assign — the
+// resume point for a replication tail.
+func (db *DB) NextSeq() uint64 { return db.wal.nextSeq() }
+
+// WaitApplied blocks until the applied watermark reaches seq or ctx
+// ends. It is the server side of "X-Ring-Min-Seq: N": bounded
+// generation/sequence-consistent reads on any replica.
+func (db *DB) WaitApplied(ctx context.Context, seq uint64) error {
+	if db.appliedSeq.Load() >= seq {
+		return nil
+	}
+	w := seqWaiter{seq: seq, ch: make(chan struct{})}
+	db.seqMu.Lock()
+	// Re-check under the lock: advanceApplied may have passed seq
+	// between the fast path and registration.
+	if db.appliedSeq.Load() >= seq {
+		db.seqMu.Unlock()
+		return nil
+	}
+	db.seqWaiters = append(db.seqWaiters, w)
+	db.seqMu.Unlock()
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		db.seqMu.Lock()
+		for i := range db.seqWaiters {
+			if db.seqWaiters[i].ch == w.ch {
+				db.seqWaiters = append(db.seqWaiters[:i], db.seqWaiters[i+1:]...)
+				break
+			}
+		}
+		db.seqMu.Unlock()
+		return ctx.Err()
+	}
 }
 
 // applyOps encodes and applies a homogeneous-or-mixed op list in order.
@@ -483,7 +584,7 @@ func (db *DB) checkpoint() error {
 	// Seal the log and drain the memtable under the writer lock: every
 	// op in segments < floor is now represented in the store's rings.
 	db.wmu.Lock()
-	sealed, err := db.wal.rotate()
+	rot, err := db.wal.rotate()
 	if err != nil {
 		db.wmu.Unlock()
 		return err
@@ -561,7 +662,8 @@ func (db *DB) checkpoint() error {
 	m := &manifest{
 		Version:    version,
 		Generation: snap.Generation(),
-		WALFloor:   sealed + 1,
+		WALFloor:   rot.Sealed + 1,
+		LastSeq:    rot.LastSeq,
 		NextRing:   nextRing,
 		NumSO:      numSO,
 		NumP:       numP,
@@ -684,6 +786,7 @@ func (db *DB) Stats() Stats {
 	db.cpMu.Lock()
 	version := db.man.Version
 	floor := db.man.WALFloor
+	snapLastSeq := db.man.LastSeq
 	mappedRings := len(db.regions)
 	var mappedBytes int64
 	for _, reg := range db.regions {
@@ -712,6 +815,9 @@ func (db *DB) Stats() Stats {
 		WALSegments:     len(segs),
 		WALSizeBytes:    segBytes,
 		WAL:             db.wal.stats(),
+		AppliedSeq:      db.appliedSeq.Load(),
+		DurableSeq:      db.wal.lastDurable.Load(),
+		SnapshotLastSeq: snapLastSeq,
 		RecoveryBatches: db.recoveryBatches.Load(),
 		RecoveryOps:     db.recoveryOps.Load(),
 		RecoveryTorn:    db.tornTail.Load(),

@@ -45,6 +45,12 @@ type Report struct {
 	// in live segments.
 	ReplayBatches int
 	ReplayOps     int
+	// SnapshotLastSeq is the highest batch sequence folded into the
+	// snapshot (manifest lastseq); DurableSeq adds the live WAL tail: the
+	// highest valid batch sequence on disk, i.e. where a recovery — or a
+	// replication follower resuming — would continue from.
+	SnapshotLastSeq uint64
+	DurableSeq      uint64
 }
 
 // Inspect summarises a data directory without opening it: manifest
@@ -69,7 +75,9 @@ func Inspect(dir string) (*Report, error) {
 		NumP:            man.NumP,
 		DictFile:        man.Dict.Name,
 		DictBytes:       man.Dict.Bytes,
+		SnapshotLastSeq: man.LastSeq,
 	}
+	rep.DurableSeq = man.LastSeq
 	for _, r := range man.Rings {
 		rep.Rings = append(rep.Rings, RingInfo{Name: r.Name, Triples: r.Triples, Bytes: r.Bytes})
 	}
@@ -96,6 +104,9 @@ func Inspect(dir string) (*Report, error) {
 				}
 				rep.ReplayBatches += res.Batches
 				rep.ReplayOps += res.Ops
+				if res.LastSeq > rep.DurableSeq {
+					rep.DurableSeq = res.LastSeq
+				}
 			}
 		}
 		rep.Segments = append(rep.Segments, info)

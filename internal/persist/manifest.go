@@ -50,12 +50,17 @@ type manifest struct {
 	Version    uint64
 	Generation uint64 // store generation at checkpoint (diagnostic)
 	WALFloor   uint64 // first WAL segment to replay
-	NextRing   uint64 // next unused ring file id
-	NumSO      graph.ID
-	NumP       graph.ID
-	Triples    int
-	Dict       fileRef
-	Rings      []ringRef
+	// LastSeq is the highest batch sequence folded into this snapshot:
+	// recovery (and a replication follower) resumes at LastSeq+1. Zero in
+	// manifests written before replication existed — recovery then falls
+	// back to the replayed WAL tail, as it always did.
+	LastSeq  uint64
+	NextRing uint64 // next unused ring file id
+	NumSO    graph.ID
+	NumP     graph.ID
+	Triples  int
+	Dict     fileRef
+	Rings    []ringRef
 }
 
 // encode renders the manifest body, CRC trailer included.
@@ -65,6 +70,11 @@ func (m *manifest) encode() []byte {
 	fmt.Fprintf(&b, "version %d\n", m.Version)
 	fmt.Fprintf(&b, "generation %d\n", m.Generation)
 	fmt.Fprintf(&b, "walfloor %d\n", m.WALFloor)
+	// lastseq is omitted when zero so pre-replication manifests keep
+	// their canonical byte-identical round-trip.
+	if m.LastSeq != 0 {
+		fmt.Fprintf(&b, "lastseq %d\n", m.LastSeq)
+	}
 	fmt.Fprintf(&b, "nextring %d\n", m.NextRing)
 	fmt.Fprintf(&b, "domains %d %d\n", m.NumSO, m.NumP)
 	fmt.Fprintf(&b, "triples %d\n", m.Triples)
@@ -166,6 +176,13 @@ func readManifestBytes(data []byte) (*manifest, error) {
 			_, err = fmt.Sscanf(rest, "%d", &m.Generation)
 		case "walfloor":
 			_, err = fmt.Sscanf(rest, "%d", &m.WALFloor)
+		case "lastseq":
+			_, err = fmt.Sscanf(rest, "%d", &m.LastSeq)
+			if err == nil && m.LastSeq == 0 {
+				// Canonical form omits the zero; accepting it would break
+				// the byte-identical round-trip.
+				err = fmt.Errorf("lastseq 0 is written by omission")
+			}
 		case "nextring":
 			_, err = fmt.Sscanf(rest, "%d", &m.NextRing)
 		case "domains":

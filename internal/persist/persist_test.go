@@ -349,7 +349,7 @@ func TestSealedSegmentCorruptionFails(t *testing.T) {
 	db.wal.Close()
 	db.store.Close()
 
-	path := filepath.Join(dir, segmentName(sealed))
+	path := filepath.Join(dir, segmentName(sealed.Sealed))
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

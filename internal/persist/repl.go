@@ -1,0 +1,338 @@
+package persist
+
+// Replication seams: everything a WAL-shipping leader/follower pair
+// needs from the persistence layer, and nothing protocol-shaped. The
+// leader side exposes the current manifest with its immutable snapshot
+// files (bootstrap is "download files, Open") and a durable-record
+// stream from any batch sequence (sealed segments from disk, then the
+// committer's live tail). The follower side applies shipped batches
+// through the same WAL-then-store path local writes use, preserving the
+// leader's sequence numbering so recovery and resume are exact.
+//
+// The one invariant everything here leans on: a record leaves this
+// process only after the fsync covering it returned. Disk catch-up caps
+// at the durable watermark and the tail subscription is fed post-fsync,
+// so a follower can never hold bytes a leader crash could revoke — the
+// pair cannot diverge.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// SnapshotFile names one immutable file of a checkpoint.
+type SnapshotFile struct {
+	Name    string `json:"name"`
+	Bytes   int64  `json:"bytes"`
+	Triples int    `json:"triples,omitempty"` // ring files only
+	Kind    string `json:"kind"`              // "dict" or "ring"
+}
+
+// ManifestInfo is a parsed manifest plus its exact on-disk image. Raw
+// is CRC-trailed and round-trips byte-identically, so a follower can
+// install it verbatim after downloading the files it names.
+type ManifestInfo struct {
+	Version    uint64         `json:"version"`
+	Generation uint64         `json:"generation"`
+	WALFloor   uint64         `json:"wal_floor"`
+	LastSeq    uint64         `json:"last_seq"`
+	Triples    int            `json:"triples"`
+	Files      []SnapshotFile `json:"files"`
+	Raw        []byte         `json:"raw"`
+}
+
+func manifestInfo(m *manifest, raw []byte) *ManifestInfo {
+	info := &ManifestInfo{
+		Version:    m.Version,
+		Generation: m.Generation,
+		WALFloor:   m.WALFloor,
+		LastSeq:    m.LastSeq,
+		Triples:    m.Triples,
+		Raw:        raw,
+	}
+	if m.Dict.Name != "" {
+		info.Files = append(info.Files, SnapshotFile{Name: m.Dict.Name, Bytes: m.Dict.Bytes, Kind: "dict"})
+	}
+	for _, r := range m.Rings {
+		info.Files = append(info.Files, SnapshotFile{Name: r.Name, Bytes: r.Bytes, Triples: r.Triples, Kind: "ring"})
+	}
+	return info
+}
+
+// ManifestSnapshot returns the current manifest, consistent under the
+// checkpoint lock. Version 0 means "no checkpoint yet": there are no
+// files to fetch and a follower starts from an empty directory.
+func (db *DB) ManifestSnapshot() *ManifestInfo {
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	m := db.man
+	if m.Version == 0 {
+		return &ManifestInfo{WALFloor: m.WALFloor}
+	}
+	return manifestInfo(m, m.encode())
+}
+
+// ParseManifest decodes a manifest image (as shipped by a leader),
+// validating its CRC trailer.
+func ParseManifest(data []byte) (*ManifestInfo, error) {
+	m, err := readManifestBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	return manifestInfo(m, data), nil
+}
+
+// validSnapshotName reports whether name is a plausible snapshot file
+// name a manifest may reference — defense in depth against a hostile
+// leader steering a follower's writes outside its data directory.
+func validSnapshotName(name string) bool {
+	if strings.ContainsAny(name, "/\\") || name == "" {
+		return false
+	}
+	return strings.HasPrefix(name, "dict-") || strings.HasPrefix(name, "ring-")
+}
+
+// OpenSnapshotFile opens one of the current manifest's immutable files
+// for streaming to a follower. The name must be referenced by the
+// manifest as of this call; the returned handle stays valid even if a
+// later checkpoint garbage-collects the name (the open file survives
+// the unlink).
+func (db *DB) OpenSnapshotFile(name string) (io.ReadCloser, int64, error) {
+	db.cpMu.Lock()
+	var ref *fileRef
+	if db.man.Dict.Name == name {
+		ref = &fileRef{Name: name, Bytes: db.man.Dict.Bytes}
+	}
+	for _, r := range db.man.Rings {
+		if r.Name == name {
+			ref = &fileRef{Name: r.Name, Bytes: r.Bytes}
+		}
+	}
+	db.cpMu.Unlock()
+	if ref == nil || !validSnapshotName(name) {
+		return nil, 0, fmt.Errorf("persist: %q is not a current snapshot file", name)
+	}
+	f, err := os.Open(filepath.Join(db.dir, name))
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, ref.Bytes, nil
+}
+
+// InstallSnapshotManifest installs a leader's manifest image into a
+// bootstrap directory (validate, temp file, fsync, rename, dirsync).
+// Every file the manifest names must already be in place and fsynced —
+// the manifest is the commit point, exactly as in a local checkpoint.
+func InstallSnapshotManifest(dir string, raw []byte) error {
+	m, err := readManifestBytes(raw)
+	if err != nil {
+		return err
+	}
+	return m.install(dir)
+}
+
+// WriteSnapshotFile streams one downloaded snapshot file into dir and
+// fsyncs it, returning the byte count. The name is validated against
+// directory escapes; the CRC check against the leader's trailer is the
+// caller's job (it sees the transport).
+func WriteSnapshotFile(dir, name string, src io.Reader) (int64, error) {
+	if !validSnapshotName(name) {
+		return 0, fmt.Errorf("persist: invalid snapshot file name %q", name)
+	}
+	return writeFileSync(filepath.Join(dir, name), func(w io.Writer) (int64, error) {
+		return io.Copy(w, src)
+	})
+}
+
+// DecodeRecordPayload decodes a shipped record payload (8-byte batch
+// sequence + encoded ops) into a Batch, exactly as recovery would.
+// Structural faults surface as ErrCorrupt — the transport CRC already
+// passed, so a bad payload means a framing bug or a hostile peer.
+func DecodeRecordPayload(payload []byte) (Batch, error) {
+	return readBatch(payload)
+}
+
+// ApplyReplicated logs and applies one shipped batch, preserving the
+// leader's sequence number. The batch must continue the local log
+// exactly (ErrSeqGap otherwise — the follower resyncs rather than
+// papering over a hole). With sync the call returns after the local
+// fsync; without, the record rides the next group commit and the
+// durable watermark advances behind visibility, same as local writes.
+func (db *DB) ApplyReplicated(b Batch, sync bool) error {
+	if b.Seq == 0 {
+		return fmt.Errorf("%w: replicated batch seq 0", ErrCorrupt)
+	}
+	db.wmu.Lock()
+	if db.closed {
+		db.wmu.Unlock()
+		return ErrClosed
+	}
+	promise, err := db.wal.enqueue(b.Ops, b.Seq)
+	if err != nil {
+		db.wmu.Unlock()
+		return err
+	}
+	db.applyOps(b.Ops)
+	db.advanceApplied(b.Seq)
+	db.wmu.Unlock()
+	if sync {
+		return promise.wait()
+	}
+	return nil
+}
+
+// errSubLost signals an overflowed tail subscription: the consumer fell
+// behind the committer's buffer and must resume from the segment files.
+var errSubLost = errors.New("persist: tail subscription overflowed")
+
+// StreamWAL ships every durable batch with sequence ≥ from, in order,
+// then follows the live tail until ctx ends, emit fails, or the DB
+// closes (ErrClosed — a clean end of stream). With heartbeat > 0, a
+// nil-payload TailRecord carrying the current durable watermark is
+// emitted whenever the tail is idle that long, so consumers can measure
+// lag and liveness.
+//
+// Batches already folded into the snapshot and garbage-collected cannot
+// be shipped: ErrSnapshotRequired tells the follower to re-bootstrap.
+func (db *DB) StreamWAL(ctx context.Context, from uint64, heartbeat time.Duration, emit func(TailRecord) error) error {
+	if from == 0 {
+		from = 1
+	}
+	next := from
+	for {
+		db.cpMu.Lock()
+		floorSeq := db.man.LastSeq + 1
+		segFloor := db.man.WALFloor
+		db.cpMu.Unlock()
+		if next < floorSeq {
+			return fmt.Errorf("%w (want seq %d, snapshot covers through %d)", ErrSnapshotRequired, next, floorSeq-1)
+		}
+		// Subscribe before reading disk: every record durable after this
+		// point is buffered, every record durable before it is on disk, so
+		// the union has no hole and overlaps dedupe by sequence.
+		sub := db.wal.subscribe()
+		durable := db.wal.lastDurable.Load()
+		var err error
+		next, err = db.shipFromDisk(segFloor, next, durable, emit)
+		if err != nil {
+			db.wal.unsubscribe(sub)
+			return err
+		}
+		err = db.shipFromTail(ctx, sub, &next, heartbeat, emit)
+		db.wal.unsubscribe(sub)
+		if errors.Is(err, errSubLost) {
+			continue // fell behind the buffer: catch up from disk again
+		}
+		return err
+	}
+}
+
+// shipFromDisk emits the durable records in [next, durable] from the
+// segment files and returns the new resume point. Records beyond the
+// durable watermark are skipped even when readable: they are flushed
+// but possibly not fsynced, and a crash may still revoke them.
+func (db *DB) shipFromDisk(segFloor, next, durable uint64, emit func(TailRecord) error) (uint64, error) {
+	if durable < next {
+		return next, nil
+	}
+	segs, err := listSegments(db.dir)
+	if err != nil {
+		return next, err
+	}
+	for _, seq := range segs {
+		if seq < segFloor {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(db.dir, segmentName(seq)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // checkpointed away mid-scan; the floor re-check catches real gaps
+			}
+			return next, err
+		}
+		// Tolerant scan (last=true): the committer appends concurrently,
+		// so any segment may end mid-record from this reader's viewpoint.
+		// Everything at or below the durable watermark parses — fsync
+		// completes records before it returns.
+		_, err = replayBytes(data, seq, true, func(b Batch) error {
+			if b.Seq < next || b.Seq > durable {
+				return nil
+			}
+			if b.Seq != next {
+				return fmt.Errorf("%w: durable record gap at seq %d (want %d)", ErrCorrupt, b.Seq, next)
+			}
+			payload := encodeOps(b.Ops)
+			full := make([]byte, 0, 8+len(payload))
+			full = appendSeq(full, b.Seq)
+			full = append(full, payload...)
+			if err := emit(TailRecord{Seq: b.Seq, Payload: full}); err != nil {
+				return err
+			}
+			next = b.Seq + 1
+			return nil
+		})
+		if err != nil {
+			return next, err
+		}
+	}
+	if next <= durable {
+		return next, fmt.Errorf("%w: durable records through seq %d missing from segment files (resumed at %d)", ErrCorrupt, durable, next)
+	}
+	return next, nil
+}
+
+// shipFromTail streams the live subscription: committed records in
+// order, heartbeats when idle. Returns errSubLost on overflow (resume
+// from disk), ErrClosed when the WAL shuts down cleanly, or ctx/emit
+// errors.
+func (db *DB) shipFromTail(ctx context.Context, sub *walSub, next *uint64, heartbeat time.Duration, emit func(TailRecord) error) error {
+	var hb <-chan time.Time
+	if heartbeat > 0 {
+		t := time.NewTicker(heartbeat)
+		defer t.Stop()
+		hb = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case rec, ok := <-sub.ch:
+			if !ok {
+				if sub.lost {
+					return errSubLost
+				}
+				return ErrClosed
+			}
+			if rec.Seq < *next {
+				continue // already shipped during disk catch-up
+			}
+			if rec.Seq > *next {
+				// The buffered tail starts past our resume point (records
+				// committed between two disk passes); fall back to disk.
+				return errSubLost
+			}
+			if err := emit(rec); err != nil {
+				return err
+			}
+			*next = rec.Seq + 1
+		case <-hb:
+			if err := emit(TailRecord{Seq: db.wal.lastDurable.Load()}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// appendSeq appends a little-endian batch sequence (the record payload
+// prefix).
+func appendSeq(b []byte, seq uint64) []byte {
+	return append(b,
+		byte(seq), byte(seq>>8), byte(seq>>16), byte(seq>>24),
+		byte(seq>>32), byte(seq>>40), byte(seq>>48), byte(seq>>56))
+}

@@ -74,6 +74,16 @@ var ErrClosed = errors.New("persist: WAL closed")
 // above the bound is always a torn write, never acknowledged data.
 var ErrTooLarge = errors.New("persist: batch exceeds the WAL record size bound")
 
+// ErrSeqGap reports a replicated batch whose sequence does not continue
+// the local log: applying it would leave a hole no recovery could
+// detect, so the follower must resync instead.
+var ErrSeqGap = errors.New("persist: batch sequence gap")
+
+// ErrSnapshotRequired reports a WAL stream request for sequences the
+// leader has already folded into a checkpoint and garbage-collected:
+// the follower must re-bootstrap from the snapshot instead of tailing.
+var ErrSnapshotRequired = errors.New("persist: requested WAL sequence predates the snapshot floor")
+
 const (
 	segMagic       = "RWALSEG1"
 	segHeaderBytes = 16 // magic + segment seq
@@ -141,6 +151,7 @@ type WALStats struct {
 	Fsyncs          uint64
 	FsyncSeconds    HistSnapshot
 	Segment         uint64 // active segment sequence number
+	DurableSeq      uint64 // highest fsynced batch sequence
 }
 
 // wal is the write-ahead log: a sequence of segment files, appended to
@@ -149,8 +160,9 @@ type WALStats struct {
 type wal struct {
 	dir string
 
-	mu        sync.Mutex // guards closed + enqueue vs Close
+	mu        sync.Mutex // guards closed, nextBatch and enqueue vs Close
 	closed    bool       //ringlint:guarded-by mu
+	nextBatch uint64     //ringlint:guarded-by mu
 	reqCh     chan *walReq
 	wg        sync.WaitGroup
 	failed    atomic.Pointer[error] // first write/sync error; sticky
@@ -159,12 +171,21 @@ type wal struct {
 	fsyncs    atomic.Uint64
 	fsyncHist *latencyHist
 	segment   atomic.Uint64
+	// lastDurable is the highest batch sequence whose record is fsynced.
+	// Replication streams read it as their shipping bound: a record above
+	// it may still be torn away by a crash, so it must never leave the
+	// process.
+	lastDurable atomic.Uint64
+
+	// tmu guards the tail-subscription set; the committer publishes each
+	// group's records to subscribers after the covering fsync returns.
+	tmu  sync.Mutex
+	subs map[*walSub]struct{} //ringlint:guarded-by tmu
 
 	// commit-goroutine state
-	f         walFile
-	bw        *bufio.Writer
-	seq       uint64
-	nextBatch uint64
+	f   walFile
+	bw  *bufio.Writer
+	seq uint64
 }
 
 // walFile is the committer's handle on the active segment: *os.File in
@@ -178,15 +199,49 @@ type walFile interface {
 }
 
 type walReq struct {
-	payload []byte // nil for a rotate request
+	seq     uint64 // batch sequence, assigned at enqueue under mu
+	full    []byte // nil for a rotate request: batch seq + encoded ops
 	done    chan error
-	rotated chan uint64 // rotate requests: receives the sealed segment's seq
+	rotated chan walRotateInfo // rotate requests: sealed segment + last batch seq
+}
+
+// walRotateInfo reports what a rotate sealed: the closed segment's
+// number and the highest batch sequence assigned before the rotate
+// enqueued (every record at or below it lives in sealed segments).
+type walRotateInfo struct {
+	Sealed  uint64
+	LastSeq uint64
 }
 
 // walPromise resolves when the enqueueing append's record is durable.
-type walPromise struct{ done chan error }
+// The batch sequence is known at enqueue time (assignment happens under
+// the WAL mutex, so enqueue order equals sequence order equals commit
+// order) — callers can hand it to clients before the fsync resolves.
+type walPromise struct {
+	seq  uint64
+	done chan error
+}
 
 func (p *walPromise) wait() error { return <-p.done }
+
+// walSub is one live-tail subscription: the committer delivers every
+// batch made durable after the subscription started, in order. A
+// subscriber that falls behind the buffer is overflowed (closed with
+// lost=true) and must re-read the segment files to resume.
+type walSub struct {
+	ch   chan TailRecord
+	lost bool // set (under tmu) before ch is closed on overflow
+}
+
+// TailRecord is one durable WAL record as shipped to replication
+// consumers: the batch sequence and the full record payload (sequence
+// prefix + encoded ops — exactly the bytes the record's CRC covers). A
+// heartbeat TailRecord has a nil Payload and carries only the current
+// durable sequence.
+type TailRecord struct {
+	Seq     uint64
+	Payload []byte
+}
 
 // segmentName renders the on-disk name of segment seq.
 func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016x.log", seq) }
@@ -221,7 +276,7 @@ func listSegments(dir string) ([]uint64, error) {
 }
 
 // openWAL creates segment seq in dir and starts the commit goroutine.
-// nextBatch seeds the batch sequence (one past the last replayed batch).
+// nextBatch seeds the batch sequence (one past the last durable batch).
 func openWAL(dir string, seq, nextBatch uint64) (*wal, error) {
 	w := &wal{
 		dir:       dir,
@@ -229,7 +284,9 @@ func openWAL(dir string, seq, nextBatch uint64) (*wal, error) {
 		fsyncHist: newLatencyHist(fsyncBuckets),
 		seq:       seq,
 		nextBatch: nextBatch,
+		subs:      make(map[*walSub]struct{}),
 	}
+	w.lastDurable.Store(nextBatch - 1)
 	if err := w.openSegment(seq); err != nil {
 		return nil, err
 	}
@@ -266,14 +323,18 @@ func (w *wal) openSegment(seq uint64) error {
 // enqueue submits a batch for commit and returns a promise that resolves
 // once the record is durable. The caller may apply the ops to the
 // in-memory store immediately: visibility may run ahead of durability,
-// but acknowledgement (the promise) never does.
-func (w *wal) enqueue(ops []Op) (*walPromise, error) {
+// but acknowledgement (the promise) never does. The batch sequence is
+// assigned here, under the mutex, so enqueue order equals sequence
+// order. forceSeq, when nonzero, pins the assigned sequence — the
+// replication apply path uses it to preserve the leader's numbering —
+// and must equal the next unassigned sequence, else ErrSeqGap.
+func (w *wal) enqueue(ops []Op, forceSeq uint64) (*walPromise, error) {
 	if err := w.err(); err != nil {
 		return nil, err
 	}
 	payload := encodeOps(ops)
-	// The committer prepends an 8-byte batch sequence; the full record
-	// must stay under the bound replay treats as "implausible, torn".
+	// The 8-byte batch sequence is prepended below; the full record must
+	// stay under the bound replay treats as "implausible, torn".
 	if len(payload)+8 > maxRecordBytes {
 		return nil, fmt.Errorf("%w (%d bytes encoded, max %d)", ErrTooLarge, len(payload)+8, maxRecordBytes)
 	}
@@ -282,29 +343,50 @@ func (w *wal) enqueue(ops []Op) (*walPromise, error) {
 		w.mu.Unlock()
 		return nil, ErrClosed
 	}
-	req := &walReq{payload: payload, done: make(chan error, 1)}
+	if forceSeq != 0 && forceSeq != w.nextBatch {
+		next := w.nextBatch
+		w.mu.Unlock()
+		return nil, fmt.Errorf("%w: batch seq %d, log expects %d", ErrSeqGap, forceSeq, next)
+	}
+	seq := w.nextBatch
+	w.nextBatch++
+	full := make([]byte, 0, 8+len(payload))
+	var seqBuf [8]byte
+	binary.LittleEndian.PutUint64(seqBuf[:], seq)
+	full = append(full, seqBuf[:]...)
+	full = append(full, payload...)
+	req := &walReq{seq: seq, full: full, done: make(chan error, 1)}
 	w.reqCh <- req
 	w.mu.Unlock()
-	return &walPromise{done: req.done}, nil
+	return &walPromise{seq: seq, done: req.done}, nil
+}
+
+// nextSeq returns the next batch sequence the log will assign.
+func (w *wal) nextSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextBatch
 }
 
 // rotate seals the active segment (flush + fsync + close) and opens the
-// next one, returning the sealed segment's sequence number. Records
-// enqueued before rotate land in the sealed segment.
-func (w *wal) rotate() (uint64, error) {
+// next one, returning the sealed segment's number and the last batch
+// sequence it (or an earlier segment) holds. Records enqueued before
+// rotate land in the sealed segment.
+func (w *wal) rotate() (walRotateInfo, error) {
 	if err := w.err(); err != nil {
-		return 0, err
+		return walRotateInfo{}, err
 	}
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
-		return 0, ErrClosed
+		return walRotateInfo{}, ErrClosed
 	}
-	req := &walReq{done: make(chan error, 1), rotated: make(chan uint64, 1)}
+	req := &walReq{done: make(chan error, 1), rotated: make(chan walRotateInfo, 1)}
+	req.seq = w.nextBatch - 1 // highest assigned seq; all of them precede us in the queue
 	w.reqCh <- req
 	w.mu.Unlock()
 	if err := <-req.done; err != nil {
-		return 0, err
+		return walRotateInfo{}, err
 	}
 	return <-req.rotated, nil
 }
@@ -344,6 +426,7 @@ func (w *wal) stats() WALStats {
 		Fsyncs:          w.fsyncs.Load(),
 		FsyncSeconds:    w.fsyncHist.snapshot(),
 		Segment:         w.segment.Load(),
+		DurableSeq:      w.lastDurable.Load(),
 	}
 }
 
@@ -379,12 +462,12 @@ func (w *wal) commitGroup(group []*walReq) {
 	pending := group[:0:0]
 	for _, req := range group {
 		if req.rotated != nil {
-			w.ackGroup(pending, w.syncAndRotate(req))
+			w.ackDurable(pending, w.syncAndRotate(req))
 			pending = pending[:0:0]
 			continue
 		}
 		if err := w.err(); err == nil {
-			if err2 := w.writeRecord(req.payload); err2 != nil {
+			if err2 := w.writeRecord(req.full); err2 != nil {
 				w.fail(err2)
 			}
 		}
@@ -395,7 +478,7 @@ func (w *wal) commitGroup(group []*walReq) {
 		if err == nil {
 			err = w.sync()
 		}
-		w.ackGroup(pending, err)
+		w.ackDurable(pending, err)
 	}
 }
 
@@ -419,26 +502,84 @@ func (w *wal) syncAndRotate(req *walReq) error {
 	}
 	req.done <- err
 	if err == nil {
-		req.rotated <- sealed
+		req.rotated <- walRotateInfo{Sealed: sealed, LastSeq: req.seq}
 	}
 	return err
 }
 
-func (w *wal) ackGroup(reqs []*walReq, err error) {
+// ackDurable resolves a synced group's promises. On success the records
+// are durable: the durable watermark advances to the group's last
+// sequence and the records fan out to tail subscribers — strictly after
+// the fsync, so a subscriber can never ship bytes a crash could revoke.
+func (w *wal) ackDurable(reqs []*walReq, err error) {
+	if err == nil && len(reqs) > 0 {
+		w.lastDurable.Store(reqs[len(reqs)-1].seq)
+		w.publish(reqs)
+	}
 	for _, r := range reqs {
 		r.done <- err
 	}
 }
 
-func (w *wal) writeRecord(payload []byte) error {
-	seq := w.nextBatch
-	w.nextBatch++
-	var seqBuf [8]byte
-	binary.LittleEndian.PutUint64(seqBuf[:], seq)
-	full := make([]byte, 0, 8+len(payload))
-	full = append(full, seqBuf[:]...)
-	full = append(full, payload...)
+// publish delivers a durable group to every tail subscriber. A
+// subscriber whose buffer is full is overflowed — closed with the lost
+// flag — rather than blocking the committer; it re-reads the segment
+// files to resume.
+func (w *wal) publish(reqs []*walReq) {
+	w.tmu.Lock()
+	defer w.tmu.Unlock()
+	for sub := range w.subs {
+		for _, r := range reqs {
+			select {
+			case sub.ch <- TailRecord{Seq: r.seq, Payload: r.full}:
+			default:
+				sub.lost = true
+				close(sub.ch)
+				delete(w.subs, sub)
+			}
+			if sub.lost {
+				break
+			}
+		}
+	}
+}
 
+// subscribe registers a live-tail subscription covering every record
+// made durable from now on. The caller must drain sub.ch or accept
+// overflow; unsubscribe is mandatory.
+func (w *wal) subscribe() *walSub {
+	sub := &walSub{ch: make(chan TailRecord, 4*groupMax)}
+	w.tmu.Lock()
+	w.subs[sub] = struct{}{}
+	w.tmu.Unlock()
+	return sub
+}
+
+// unsubscribe removes a subscription; safe to call after overflow or
+// close (both already removed it).
+func (w *wal) unsubscribe(sub *walSub) {
+	w.tmu.Lock()
+	if _, ok := w.subs[sub]; ok {
+		delete(w.subs, sub)
+		close(sub.ch)
+	}
+	w.tmu.Unlock()
+}
+
+// closeSubs closes every remaining subscription cleanly (without the
+// lost flag): the log is shutting down and the tail is complete.
+func (w *wal) closeSubs() {
+	w.tmu.Lock()
+	for sub := range w.subs {
+		close(sub.ch)
+		delete(w.subs, sub)
+	}
+	w.tmu.Unlock()
+}
+
+// writeRecord frames and buffers one record (full = batch seq + ops,
+// already assembled at enqueue).
+func (w *wal) writeRecord(full []byte) error {
 	var hdr [recHeaderBytes]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(full)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(full, castagnoli))
@@ -477,6 +618,7 @@ func (w *wal) finish() {
 	if err := w.f.Close(); err != nil {
 		w.fail(err)
 	}
+	w.closeSubs()
 }
 
 // --- record encoding ---

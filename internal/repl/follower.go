@@ -1,0 +1,578 @@
+//ringlint:durable
+package repl
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// A follower's life: bootstrap (download the leader's snapshot files
+// and manifest, or resume from a previous life's data dir), persist.Open
+// as if the snapshot were its own, then tail the leader's WAL stream,
+// applying each batch through the same WAL-then-store path local writes
+// take — the leader's sequence numbers are preserved in the follower's
+// own log, so "where to resume" is always just NextSeq, in-process and
+// across restarts alike. Connection loss is routine: reconnect with
+// jittered backoff and re-request from NextSeq; the overlap-free resume
+// makes redelivery impossible and ErrSeqGap makes holes loud.
+
+// ErrResyncRequired reports that the leader has checkpointed and
+// garbage-collected past this follower's position: the WAL records it
+// needs no longer exist, and only a fresh bootstrap (empty data dir)
+// can catch it up. The follower parks rather than guessing — wiping a
+// data directory is an operator decision.
+var ErrResyncRequired = errors.New("repl: follower position predates the leader snapshot; re-bootstrap from an empty data dir")
+
+// ErrNotCaughtUp reports a promote attempt while the follower is still
+// missing records the leader was known to have.
+var ErrNotCaughtUp = errors.New("repl: follower has not applied every known leader batch")
+
+// positionName is the advisory replication-position file a follower
+// maintains in its data dir for offline tooling (ringstats). It is not
+// part of the durability contract.
+const positionName = "REPL"
+
+// Position is the advisory replication position recorded in a follower
+// data dir.
+type Position struct {
+	Leader     string `json:"leader"`      // replication endpoint
+	LeaderAddr string `json:"leader_addr"` // leader's advertised client address
+	LeaderSeq  uint64 `json:"leader_seq"`  // last known leader durable seq
+	AppliedSeq uint64 `json:"applied_seq"`
+	Writable   bool   `json:"writable"` // true once promoted
+	UpdatedMs  int64  `json:"updated_unix_ms"`
+}
+
+// ReadPosition loads the advisory position file from a data dir; a
+// missing file returns (nil, nil) — the dir never ran as a follower.
+func ReadPosition(dir string) (*Position, error) {
+	data, err := os.ReadFile(filepath.Join(dir, positionName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	p := &Position{}
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, fmt.Errorf("repl: position file: %w", err)
+	}
+	return p, nil
+}
+
+// FollowerOptions configures a follower.
+type FollowerOptions struct {
+	// Dir is the follower's own data directory.
+	Dir string
+	// Leader is the leader's replication endpoint, host:port.
+	Leader string
+	// ReconnectMin/Max bound the reconnect backoff (defaults 100ms/5s).
+	ReconnectMin, ReconnectMax time.Duration
+	// Client issues the HTTP requests; nil uses a dedicated client with
+	// no overall timeout (the WAL stream is long-lived).
+	Client *http.Client
+	// Log receives replication events; nil discards them.
+	Log *slog.Logger
+	// Open passes through to persist.Open.
+	Open persist.Options
+}
+
+// Info is a point-in-time view of replication state, exposed through
+// /stats, /metrics, and readiness gating.
+type Info struct {
+	Role       string `json:"role"` // "follower" or "leader" once promoted
+	Leader     string `json:"leader,omitempty"`
+	LeaderAddr string `json:"leader_addr,omitempty"`
+	Connected  bool   `json:"connected"`
+	Writable   bool   `json:"writable"`
+	// Parked marks the terminal resync-required state: the follower
+	// cannot catch up without a fresh bootstrap and has stopped retrying.
+	Parked     bool    `json:"parked,omitempty"`
+	AppliedSeq uint64  `json:"applied_seq"`
+	DurableSeq uint64  `json:"durable_seq"`
+	LeaderSeq  uint64  `json:"leader_seq"`
+	LagBatches uint64  `json:"lag_batches"`
+	LagSeconds float64 `json:"lag_seconds"`
+	LastErr    string  `json:"last_err,omitempty"`
+}
+
+// Follower tails a leader's WAL into its own DB.
+type Follower struct {
+	opt FollowerOptions
+	db  *persist.DB
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu         sync.Mutex
+	writable   bool   //ringlint:guarded-by mu
+	connected  bool   //ringlint:guarded-by mu
+	parked     bool   //ringlint:guarded-by mu
+	leaderAddr string //ringlint:guarded-by mu
+	leaderSeq  uint64 //ringlint:guarded-by mu
+	// caughtUp is the last instant applied >= leaderSeq; lastPosMs
+	// throttles position-file writes.
+	caughtUp  time.Time //ringlint:guarded-by mu
+	lastErr   string    //ringlint:guarded-by mu
+	lastPosMs int64     //ringlint:guarded-by mu
+}
+
+// OpenFollower bootstraps (if the data dir is empty) and opens the
+// follower's DB. The tail loop starts with Start; queries can be served
+// from DB() immediately — the store holds whatever the snapshot plus
+// the locally durable WAL tail contained.
+func OpenFollower(opt FollowerOptions) (*Follower, error) {
+	if opt.ReconnectMin <= 0 {
+		opt.ReconnectMin = 100 * time.Millisecond
+	}
+	if opt.ReconnectMax <= 0 {
+		opt.ReconnectMax = 5 * time.Second
+	}
+	if opt.Client == nil {
+		opt.Client = &http.Client{}
+	}
+	if opt.Log == nil {
+		opt.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	f := &Follower{opt: opt}
+	//ringlint:detach -- the tail loop outlives any caller context; Close cancels it
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+	if err := f.bootstrap(f.ctx); err != nil {
+		f.cancel()
+		return nil, err
+	}
+	db, err := persist.Open(opt.Dir, opt.Open)
+	if err != nil {
+		f.cancel()
+		return nil, err
+	}
+	f.db = db
+	f.caughtUp = time.Now()
+	return f, nil
+}
+
+// DB exposes the follower's store for query serving.
+func (f *Follower) DB() *persist.DB { return f.db }
+
+// Start launches the tail loop.
+func (f *Follower) Start() {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		f.run(f.ctx)
+	}()
+}
+
+// Close stops tailing and closes the DB.
+func (f *Follower) Close() error {
+	f.cancel()
+	f.wg.Wait()
+	f.writePosition(true)
+	return f.db.Close()
+}
+
+// Info snapshots the replication state.
+func (f *Follower) Info() Info {
+	applied, durable := f.db.AppliedSeq(), f.db.DurableSeq()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	info := Info{
+		Role:       "follower",
+		Leader:     f.opt.Leader,
+		LeaderAddr: f.leaderAddr,
+		Connected:  f.connected,
+		Writable:   f.writable,
+		Parked:     f.parked,
+		AppliedSeq: applied,
+		DurableSeq: durable,
+		LeaderSeq:  f.leaderSeq,
+		LastErr:    f.lastErr,
+	}
+	if f.writable {
+		info.Role = "leader"
+	}
+	if f.leaderSeq > applied {
+		info.LagBatches = f.leaderSeq - applied
+		info.LagSeconds = time.Since(f.caughtUp).Seconds()
+	}
+	return info
+}
+
+// Writable reports whether mutations are accepted (true after promote).
+func (f *Follower) Writable() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writable
+}
+
+// LeaderAddr returns the leader's advertised client address for
+// mutation redirects.
+func (f *Follower) LeaderAddr() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leaderAddr
+}
+
+// Promote flips the follower writable: stop tailing, drain the apply
+// pipeline to durability, seal the WAL behind a checkpoint, and verify
+// no known leader batch is missing. After a successful promote the node
+// is a leader in every respect — its WAL continues the sequence the
+// dead leader started.
+func (f *Follower) Promote(ctx context.Context) error {
+	f.mu.Lock()
+	if f.writable {
+		f.mu.Unlock()
+		return nil // already promoted
+	}
+	f.mu.Unlock()
+
+	// Stop the tail loop; no new batches arrive after this.
+	f.cancel()
+	f.wg.Wait()
+
+	// Every known leader batch must be applied locally — promoting with
+	// a gap would silently drop acknowledged history.
+	applied := f.db.AppliedSeq()
+	f.mu.Lock()
+	known := f.leaderSeq
+	f.mu.Unlock()
+	if applied < known {
+		return fmt.Errorf("%w: applied %d < leader durable %d", ErrNotCaughtUp, applied, known)
+	}
+
+	// Drain: group commit makes applied batches durable within one fsync
+	// round; wait for the watermark to catch up.
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for f.db.DurableSeq() < applied {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+
+	// Seal: a checkpoint rotates the WAL and records the sequence in the
+	// manifest, so the promoted node's history starts from a clean edge.
+	if err := f.db.Checkpoint(); err != nil {
+		return fmt.Errorf("repl: promote checkpoint: %w", err)
+	}
+
+	f.mu.Lock()
+	f.writable = true
+	f.connected = false
+	f.mu.Unlock()
+	f.writePosition(true)
+	f.opt.Log.Info("promoted to leader", "seq", applied)
+	return nil
+}
+
+// --- bootstrap ---
+
+// hasLocalState reports whether dir already holds a manifest or WAL
+// segments — i.e. this is a resume, not a first bootstrap.
+func hasLocalState(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == "MANIFEST" || (len(name) > 4 && name[:4] == "wal-") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (f *Follower) url(path string) string {
+	return "http://" + f.opt.Leader + path
+}
+
+// bootstrap populates an empty data dir from the leader's current
+// snapshot: download every file the manifest names, verify byte counts
+// and CRCs, fsync, then install the manifest image verbatim. The
+// manifest is written last — a crash mid-bootstrap leaves a dir with no
+// manifest, which the next attempt treats as empty scratch.
+func (f *Follower) bootstrap(ctx context.Context) error {
+	resume, err := hasLocalState(f.opt.Dir)
+	if err != nil {
+		return err
+	}
+	if resume {
+		f.opt.Log.Info("resuming from existing data dir", "dir", f.opt.Dir)
+		return nil
+	}
+	if err := os.MkdirAll(f.opt.Dir, 0o755); err != nil {
+		return err
+	}
+	info, leaderAddr, err := f.fetchManifest(ctx)
+	if err != nil {
+		return fmt.Errorf("repl: bootstrap manifest: %w", err)
+	}
+	f.mu.Lock()
+	f.leaderAddr = leaderAddr
+	f.mu.Unlock()
+	if info.Version == 0 {
+		f.opt.Log.Info("leader has no snapshot yet; starting empty")
+		return nil
+	}
+	for _, file := range info.Files {
+		if err := f.fetchFile(ctx, file); err != nil {
+			return fmt.Errorf("repl: bootstrap %s: %w", file.Name, err)
+		}
+	}
+	if err := persist.InstallSnapshotManifest(f.opt.Dir, info.Raw); err != nil {
+		return fmt.Errorf("repl: bootstrap manifest install: %w", err)
+	}
+	f.opt.Log.Info("bootstrap complete",
+		"version", info.Version, "files", len(info.Files), "last_seq", info.LastSeq)
+	return nil
+}
+
+func (f *Follower) fetchManifest(ctx context.Context) (*persist.ManifestInfo, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.url("/repl/v1/manifest"), nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := f.opt.Client.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close() // response body close errors carry no data loss
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("leader returned %s", resp.Status)
+	}
+	info := &persist.ManifestInfo{}
+	if err := json.NewDecoder(resp.Body).Decode(info); err != nil {
+		return nil, "", err
+	}
+	if info.Version != 0 {
+		// Re-validate the image: the CRC trailer must hold and must agree
+		// with the JSON view we are about to trust.
+		check, err := persist.ParseManifest(info.Raw)
+		if err != nil {
+			return nil, "", err
+		}
+		if check.Version != info.Version || check.LastSeq != info.LastSeq {
+			return nil, "", fmt.Errorf("manifest image disagrees with its envelope")
+		}
+	}
+	return info, resp.Header.Get("X-Ring-Leader"), nil
+}
+
+func (f *Follower) fetchFile(ctx context.Context, file persist.SnapshotFile) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.url("/repl/v1/file/"+file.Name), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.opt.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() // response body close errors carry no data loss
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("leader returned %s", resp.Status)
+	}
+	crc := crc32.New(castagnoli)
+	n, err := persist.WriteSnapshotFile(f.opt.Dir, file.Name, io.TeeReader(resp.Body, crc))
+	if err != nil {
+		return err
+	}
+	if n != file.Bytes {
+		return fmt.Errorf("got %d bytes, manifest says %d", n, file.Bytes)
+	}
+	if trailer := resp.Trailer.Get("X-Ring-Crc"); trailer != "" {
+		want, perr := strconv.ParseUint(trailer, 16, 32)
+		if perr != nil || uint32(want) != crc.Sum32() {
+			return fmt.Errorf("checksum mismatch (leader %s, got %08x)", trailer, crc.Sum32())
+		}
+	} else {
+		return fmt.Errorf("leader sent no checksum trailer")
+	}
+	f.opt.Log.Info("fetched snapshot file", "file", file.Name, "bytes", n)
+	return nil
+}
+
+// --- tail loop ---
+
+// run reconnects forever with jittered exponential backoff until the
+// context ends or the follower's position becomes unservable.
+func (f *Follower) run(ctx context.Context) {
+	backoff := f.opt.ReconnectMin
+	for ctx.Err() == nil {
+		err := f.tailOnce(ctx)
+		f.setConnected(false)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case errors.Is(err, ErrResyncRequired):
+			// Terminal: the records this follower needs are gone. Park
+			// unready rather than wiping a data directory on our own.
+			f.setErr(err)
+			f.mu.Lock()
+			f.parked = true
+			f.mu.Unlock()
+			f.opt.Log.Error("follower parked", "err", err)
+			return
+		case err != nil:
+			f.setErr(err)
+			f.opt.Log.Warn("wal stream lost; reconnecting", "err", err, "backoff", backoff)
+		default:
+			// Clean EOF (leader restarting): reconnect quickly.
+			backoff = f.opt.ReconnectMin
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > f.opt.ReconnectMax {
+			backoff = f.opt.ReconnectMax
+		}
+	}
+}
+
+// tailOnce opens one WAL stream from the local resume point and applies
+// frames until the stream ends. nil means clean EOF.
+func (f *Follower) tailOnce(ctx context.Context) error {
+	from := f.db.NextSeq()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		f.url("/repl/v1/wal?from="+strconv.FormatUint(from, 10)), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.opt.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() // response body close errors carry no data loss
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return ErrResyncRequired
+	default:
+		return fmt.Errorf("repl: leader returned %s", resp.Status)
+	}
+	if addr := resp.Header.Get("X-Ring-Leader"); addr != "" {
+		f.mu.Lock()
+		f.leaderAddr = addr
+		f.mu.Unlock()
+	}
+	f.setConnected(true)
+	f.opt.Log.Info("wal stream attached", "from", from)
+
+	br := bufio.NewReaderSize(resp.Body, 1<<16)
+	for {
+		payload, err := ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // clean boundary: leader closed the stream
+			}
+			// Truncated or corrupt frame: nothing from it was applied
+			// (apply happens only after a full checksum-valid frame), so
+			// reconnect-and-resume is safe.
+			return err
+		}
+		if seq, ok := heartbeat(payload); ok {
+			f.observeLeaderSeq(seq)
+			continue
+		}
+		b, err := persist.DecodeRecordPayload(payload)
+		if err != nil {
+			return err // checksum-valid garbage: hostile or buggy peer
+		}
+		// Apply without per-batch fsync: the follower's group commit makes
+		// batches durable a few milliseconds behind visibility, and resume
+		// (from the durable watermark after a crash) re-requests anything
+		// in flight. ErrSeqGap means the stream and our log disagree;
+		// reconnecting re-requests from the authoritative local position.
+		if err := f.db.ApplyReplicated(b, false); err != nil {
+			return err
+		}
+		f.observeLeaderSeq(b.Seq)
+	}
+}
+
+// observeLeaderSeq folds a proof that the leader's durable log reaches
+// seq into the lag estimate and the advisory position file.
+func (f *Follower) observeLeaderSeq(seq uint64) {
+	applied := f.db.AppliedSeq()
+	f.mu.Lock()
+	if seq > f.leaderSeq {
+		f.leaderSeq = seq
+	}
+	if applied >= f.leaderSeq {
+		f.caughtUp = time.Now()
+	}
+	f.mu.Unlock()
+	f.writePosition(false)
+}
+
+func (f *Follower) setConnected(v bool) {
+	f.mu.Lock()
+	f.connected = v
+	if v {
+		f.lastErr = ""
+	}
+	f.mu.Unlock()
+}
+
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	f.lastErr = err.Error()
+	f.mu.Unlock()
+}
+
+// writePosition records the advisory position file, throttled to one
+// write per second unless forced. Best-effort by design: it is offline
+// tooling metadata, not durability state, so write errors are logged
+// and dropped and the file is not fsynced.
+func (f *Follower) writePosition(force bool) {
+	now := time.Now().UnixMilli()
+	f.mu.Lock()
+	if !force && now-f.lastPosMs < 1000 {
+		f.mu.Unlock()
+		return
+	}
+	f.lastPosMs = now
+	pos := Position{
+		Leader:     f.opt.Leader,
+		LeaderAddr: f.leaderAddr,
+		LeaderSeq:  f.leaderSeq,
+		AppliedSeq: f.db.AppliedSeq(),
+		Writable:   f.writable,
+		UpdatedMs:  now,
+	}
+	f.mu.Unlock()
+	data, err := json.Marshal(&pos)
+	if err == nil {
+		err = os.WriteFile(filepath.Join(f.opt.Dir, positionName+".tmp"), data, 0o644)
+	}
+	if err == nil {
+		err = os.Rename(filepath.Join(f.opt.Dir, positionName+".tmp"),
+			filepath.Join(f.opt.Dir, positionName))
+	}
+	if err != nil {
+		f.opt.Log.Warn("position file write failed", "err", err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package repl ships the write-ahead log between ring servers: a leader
+// serves its manifest, its immutable snapshot files, and a live WAL
+// stream over plain HTTP; a follower bootstraps from the snapshot,
+// tails the stream through the same apply path recovery uses, and can
+// be promoted to a writable leader when the original dies.
+//
+// The wire format deliberately reuses the WAL's own record framing
+// (little-endian u32 length, u32 CRC32C, payload), so a shipped frame
+// is byte-identical to the record the leader fsynced and the record the
+// follower will fsync. There is no translation layer to get wrong: a
+// frame either passes the same checksum recovery trusts, or the
+// connection dies and the follower resumes from its durable sequence.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	// frameHeaderBytes prefixes every frame: u32 payload length + u32
+	// CRC32C (Castagnoli), both little-endian — the WAL record header.
+	frameHeaderBytes = 8
+	// MaxFramePayload bounds one frame, matching the WAL's record bound:
+	// anything larger in a header is hostile or torn.
+	MaxFramePayload = 64 << 20
+	// heartbeatPayloadBytes identifies a heartbeat frame: a bare 8-byte
+	// leader durable sequence. Real records are at least 12 bytes (8-byte
+	// sequence + 4-byte op count), so the length disambiguates.
+	heartbeatPayloadBytes = 8
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadFrame reports a structurally invalid frame: an oversized or
+// undersized length, or a checksum mismatch. A follower treats it as a
+// broken connection — drop everything unacknowledged and resume from
+// the durable sequence — never as data.
+var ErrBadFrame = errors.New("repl: bad frame")
+
+// WriteFrame emits one length-prefixed CRC'd frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, verifying its checksum. A clean EOF at a
+// frame boundary returns io.EOF; a truncation inside a frame returns
+// io.ErrUnexpectedEOF; a hostile or corrupt header returns ErrBadFrame.
+// The payload is freshly allocated (appliers retain it).
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if n > MaxFramePayload {
+		return nil, fmt.Errorf("%w: %d-byte payload exceeds bound", ErrBadFrame, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	return payload, nil
+}
+
+// heartbeat reports whether a frame payload is a heartbeat and, if so,
+// the leader durable sequence it carries.
+func heartbeat(payload []byte) (uint64, bool) {
+	if len(payload) != heartbeatPayloadBytes {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(payload), true
+}
+
+// encodeHeartbeat renders a heartbeat payload.
+func encodeHeartbeat(seq uint64) []byte {
+	var b [heartbeatPayloadBytes]byte
+	binary.LittleEndian.PutUint64(b[:], seq)
+	return b[:]
+}

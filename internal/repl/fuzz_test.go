@@ -1,0 +1,124 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/persist"
+)
+
+// buildStream produces a well-formed replication stream by driving a
+// real leader store: n insert batches framed exactly as handleWAL ships
+// them, followed by one heartbeat frame.
+func buildStream(f *testing.F, n int) []byte {
+	f.Helper()
+	dir := f.TempDir()
+	db, err := persist.Open(dir, persist.Options{NoBackground: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < n; i++ {
+		ts := []dict.StringTriple{{S: string(rune('a' + i)), P: "p", O: "o"}}
+		if _, err := db.InsertBatch(ts, true); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err = db.StreamWAL(ctx, 1, 0, func(rec persist.TailRecord) error {
+		if err := WriteFrame(&buf, rec.Payload); err != nil {
+			return err
+		}
+		if rec.Seq >= uint64(n) {
+			cancel() // sealed history shipped; no need to tail
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		f.Fatal(err)
+	}
+	if err := WriteFrame(&buf, encodeHeartbeat(uint64(n))); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReplStream holds the follower's stream-consumption path to its
+// contract on arbitrary bytes: never panic, never apply a torn or
+// out-of-sequence batch, and fail only with the typed errors the
+// reconnect loop understands (ErrBadFrame, io.ErrUnexpectedEOF,
+// persist.ErrCorrupt, persist.ErrSeqGap). After any rejection the local
+// store must still be intact: a valid next batch applies cleanly and
+// the store closes without error.
+func FuzzReplStream(f *testing.F) {
+	valid := buildStream(f, 2)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // truncated mid-frame
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped) // bit flip: CRC must catch it
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}) // hostile length prefix
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := persist.Open(t.TempDir(), persist.Options{NoBackground: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+
+		r := bytes.NewReader(data)
+		for {
+			payload, err := ReadFrame(r)
+			if err != nil {
+				switch {
+				case errors.Is(err, io.EOF): // clean stream end
+				case errors.Is(err, io.ErrUnexpectedEOF): // truncation
+				case errors.Is(err, ErrBadFrame): // corruption, caught
+				default:
+					t.Fatalf("ReadFrame: untyped error %v", err)
+				}
+				break
+			}
+			if _, ok := heartbeat(payload); ok {
+				continue
+			}
+			b, err := persist.DecodeRecordPayload(payload)
+			if err != nil {
+				if !errors.Is(err, persist.ErrCorrupt) {
+					t.Fatalf("DecodeRecordPayload: untyped error %v", err)
+				}
+				break
+			}
+			before := db.AppliedSeq()
+			if err := db.ApplyReplicated(b, false); err != nil {
+				if !errors.Is(err, persist.ErrSeqGap) && !errors.Is(err, persist.ErrCorrupt) {
+					t.Fatalf("ApplyReplicated(seq %d): untyped error %v", b.Seq, err)
+				}
+				if db.AppliedSeq() != before {
+					t.Fatalf("rejected batch moved applied seq %d -> %d", before, db.AppliedSeq())
+				}
+				break
+			}
+			if db.AppliedSeq() != b.Seq {
+				t.Fatalf("applied batch %d but applied seq is %d", b.Seq, db.AppliedSeq())
+			}
+		}
+
+		// Whatever the stream did, the store must not be poisoned: the
+		// next contiguous batch applies and the store closes cleanly.
+		next := persist.Batch{Seq: db.NextSeq(), Ops: []persist.Op{{Kind: persist.OpInsert, S: "probe", P: "p", O: "o"}}}
+		if err := db.ApplyReplicated(next, true); err != nil {
+			t.Fatalf("store poisoned: contiguous batch %d rejected: %v", next.Seq, err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatalf("close after stream: %v", err)
+		}
+	})
+}

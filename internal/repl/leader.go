@@ -1,0 +1,212 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// Leader HTTP protocol, all under /repl/v1/:
+//
+//	GET /repl/v1/manifest        current manifest (JSON persist.ManifestInfo,
+//	                             Raw carried base64 per encoding/json) plus
+//	                             X-Ring-Leader (advertised client address)
+//	                             and X-Ring-Durable-Seq headers.
+//	GET /repl/v1/file/<name>     one immutable snapshot file, streamed;
+//	                             X-Ring-Bytes up front, X-Ring-Crc (CRC32C,
+//	                             hex) as an HTTP trailer computed while
+//	                             streaming.
+//	GET /repl/v1/wal?from=N      durable-record stream from batch sequence
+//	                             N: WAL-framed records plus 8-byte
+//	                             heartbeat frames carrying the leader
+//	                             durable sequence. 410 Gone when N
+//	                             predates the snapshot floor (re-bootstrap).
+
+const (
+	// DefaultHeartbeat is the idle interval between heartbeat frames on a
+	// WAL stream; it bounds how stale a follower's lag estimate can be.
+	DefaultHeartbeat = 500 * time.Millisecond
+	// DefaultMaxStreams bounds concurrent replication streams + file
+	// downloads; beyond it the leader sheds with 503 rather than letting
+	// replication I/O starve query serving.
+	DefaultMaxStreams = 8
+)
+
+// LeaderOptions configures the replication endpoint.
+type LeaderOptions struct {
+	// Advertise is the leader's client-facing address (host:port),
+	// handed to followers so they can redirect mutations.
+	Advertise string
+	// MaxStreams caps concurrent replication requests (0 = default).
+	MaxStreams int
+	// Heartbeat is the idle heartbeat interval (0 = default).
+	Heartbeat time.Duration
+	// Log receives replication events; nil discards them.
+	Log *slog.Logger
+}
+
+// Leader serves a DB's manifest, snapshot files, and WAL stream to
+// followers.
+type Leader struct {
+	db  *persist.DB
+	opt LeaderOptions
+	sem chan struct{}
+	// streams counts live WAL streams (gauge for /stats).
+	streams atomic.Int64
+}
+
+// NewLeader wraps db with a replication endpoint.
+func NewLeader(db *persist.DB, opt LeaderOptions) *Leader {
+	if opt.MaxStreams <= 0 {
+		opt.MaxStreams = DefaultMaxStreams
+	}
+	if opt.Heartbeat <= 0 {
+		opt.Heartbeat = DefaultHeartbeat
+	}
+	if opt.Log == nil {
+		opt.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Leader{db: db, opt: opt, sem: make(chan struct{}, opt.MaxStreams)}
+}
+
+// Streams reports the number of live WAL streams (followers attached).
+func (l *Leader) Streams() int64 { return l.streams.Load() }
+
+// Handler returns the replication mux, mounted by the caller on its
+// replication listener.
+func (l *Leader) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/repl/v1/manifest", l.handleManifest)
+	mux.HandleFunc("/repl/v1/file/", l.handleFile)
+	mux.HandleFunc("/repl/v1/wal", l.handleWAL)
+	return mux
+}
+
+// admit takes a stream slot without blocking; a full leader sheds the
+// request rather than queueing replication I/O behind itself.
+func (l *Leader) admit(w http.ResponseWriter) bool {
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	default:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "replication streams saturated", http.StatusServiceUnavailable)
+		return false
+	}
+}
+
+func (l *Leader) release() {
+	select {
+	case <-l.sem:
+	default: // unreachable: release pairs with a successful admit
+	}
+}
+
+func (l *Leader) handleManifest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	info := l.db.ManifestSnapshot()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Ring-Leader", l.opt.Advertise)
+	w.Header().Set("X-Ring-Durable-Seq", strconv.FormatUint(l.db.DurableSeq(), 10))
+	if err := json.NewEncoder(w).Encode(info); err != nil {
+		l.opt.Log.Warn("manifest send failed", "err", err)
+	}
+}
+
+func (l *Leader) handleFile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !l.admit(w) {
+		return
+	}
+	defer l.release()
+	name := r.URL.Path[len("/repl/v1/file/"):]
+	f, size, err := l.db.OpenSnapshotFile(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	defer f.Close() // read-only handle; nothing to flush
+	// The CRC is computed while streaming and shipped as a trailer: the
+	// files are immutable but large, and a second read just to checksum
+	// first would double the bootstrap's disk traffic.
+	w.Header().Set("Trailer", "X-Ring-Crc")
+	w.Header().Set("X-Ring-Bytes", strconv.FormatInt(size, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	crc := crc32.New(castagnoli)
+	n, err := io.Copy(io.MultiWriter(w, crc), f)
+	if err != nil {
+		// Mid-stream: the status line is gone; the byte count/CRC mismatch
+		// tells the follower to retry.
+		l.opt.Log.Warn("snapshot file stream aborted", "file", name, "sent", n, "err", err)
+		return
+	}
+	w.Header().Set("X-Ring-Crc", fmt.Sprintf("%08x", crc.Sum32()))
+}
+
+func (l *Leader) handleWAL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad from sequence", http.StatusBadRequest)
+		return
+	}
+	if !l.admit(w) {
+		return
+	}
+	defer l.release()
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Ring-Leader", l.opt.Advertise)
+
+	l.streams.Add(1)
+	defer l.streams.Add(-1)
+	l.opt.Log.Info("wal stream opened", "from", from, "remote", r.RemoteAddr)
+
+	wrote := false
+	streamErr := l.db.StreamWAL(r.Context(), from, l.opt.Heartbeat, func(rec persist.TailRecord) error {
+		payload := rec.Payload
+		if payload == nil {
+			payload = encodeHeartbeat(rec.Seq)
+		}
+		if err := WriteFrame(w, payload); err != nil {
+			return err
+		}
+		wrote = true
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	switch {
+	case streamErr == nil || errors.Is(streamErr, persist.ErrClosed):
+		// Clean end of stream (leader shutting down): the follower sees
+		// EOF at a frame boundary and reconnects.
+	case errors.Is(streamErr, persist.ErrSnapshotRequired):
+		if !wrote {
+			http.Error(w, streamErr.Error(), http.StatusGone)
+		}
+		l.opt.Log.Info("wal stream predates snapshot", "from", from)
+	case r.Context().Err() != nil:
+		// Follower went away; normal churn.
+	default:
+		l.opt.Log.Warn("wal stream failed", "from", from, "err", streamErr)
+	}
+}

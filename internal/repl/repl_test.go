@@ -1,0 +1,304 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/persist"
+)
+
+func tr(s, p, o string) dict.StringTriple { return dict.StringTriple{S: s, P: p, O: o} }
+
+func openDB(t *testing.T, dir string) *persist.DB {
+	t.Helper()
+	db, err := persist.Open(dir, persist.Options{MemtableThreshold: 8, MaxRings: 2, NoBackground: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+// startLeader serves db's replication endpoint from an httptest server
+// and returns the host:port followers dial.
+func startLeader(t *testing.T, db *persist.DB) (*Leader, string, *httptest.Server) {
+	t.Helper()
+	l := NewLeader(db, LeaderOptions{Advertise: "leader.example:7000", Heartbeat: 20 * time.Millisecond})
+	srv := httptest.NewServer(l.Handler())
+	t.Cleanup(srv.Close)
+	return l, strings.TrimPrefix(srv.URL, "http://"), srv
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReplicationEndToEnd: bootstrap from a checkpointed leader, tail
+// its live inserts to lag 0, survive a follower restart, and promote.
+func TestReplicationEndToEnd(t *testing.T) {
+	ldb := openDB(t, t.TempDir())
+	defer ldb.Close()
+
+	// Snapshot part: 20 triples folded into checkpoint files.
+	for i := 0; i < 20; i++ {
+		if _, err := ldb.InsertBatch([]dict.StringTriple{tr(fmt.Sprintf("s%d", i), "p", "o")}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ldb.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// WAL-tail part: 5 more after the checkpoint.
+	for i := 20; i < 25; i++ {
+		if _, err := ldb.InsertBatch([]dict.StringTriple{tr(fmt.Sprintf("s%d", i), "p", "o")}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, addr, _ := startLeader(t, ldb)
+	fdir := t.TempDir()
+	f, err := OpenFollower(FollowerOptions{
+		Dir: fdir, Leader: addr,
+		Open: persist.Options{MemtableThreshold: 8, MaxRings: 2, NoBackground: true},
+	})
+	if err != nil {
+		t.Fatalf("OpenFollower: %v", err)
+	}
+	// Bootstrap alone must already carry the snapshot's 20 triples.
+	if got := f.DB().Len(); got != 20 {
+		t.Fatalf("bootstrapped Len = %d, want 20", got)
+	}
+	f.Start()
+	waitFor(t, "tail catch-up", func() bool { return f.DB().AppliedSeq() >= ldb.AppliedSeq() })
+	if got := f.DB().Len(); got != 25 {
+		t.Fatalf("tailed Len = %d, want 25", got)
+	}
+
+	// Live inserts while attached.
+	for i := 25; i < 30; i++ {
+		if _, err := ldb.InsertBatch([]dict.StringTriple{tr(fmt.Sprintf("s%d", i), "p", "o")}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "live replication", func() bool { return f.DB().Len() == 30 })
+
+	info := f.Info()
+	if info.Role != "follower" || !info.Connected || info.Writable {
+		t.Fatalf("info = %+v, want connected non-writable follower", info)
+	}
+	if info.LeaderAddr != "leader.example:7000" {
+		t.Fatalf("leader addr = %q, want advertised address", info.LeaderAddr)
+	}
+	waitFor(t, "lag zero", func() bool { i := f.Info(); return i.LagBatches == 0 && i.LagSeconds == 0 })
+
+	// Restart the follower: it must resume from its durable position, not
+	// re-bootstrap.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err = OpenFollower(FollowerOptions{
+		Dir: fdir, Leader: addr,
+		Open: persist.Options{MemtableThreshold: 8, MaxRings: 2, NoBackground: true},
+	})
+	if err != nil {
+		t.Fatalf("reopen follower: %v", err)
+	}
+	f.Start()
+	for i := 30; i < 33; i++ {
+		if _, err := ldb.InsertBatch([]dict.StringTriple{tr(fmt.Sprintf("s%d", i), "p", "o")}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "post-restart replication", func() bool { return f.DB().Len() == 33 })
+
+	// Promote: the node flips writable and keeps accepting inserts on the
+	// continued sequence.
+	if err := f.Promote(context.Background()); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if info := f.Info(); info.Role != "leader" || !info.Writable {
+		t.Fatalf("post-promote info = %+v", info)
+	}
+	_, seq, err := f.DB().Mutate(persist.OpInsert, []dict.StringTriple{tr("post-promote", "p", "o")}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 34 {
+		t.Fatalf("post-promote seq = %d, want 34 (leader history continued)", seq)
+	}
+	pos, err := ReadPosition(fdir)
+	if err != nil || pos == nil {
+		t.Fatalf("ReadPosition: %v, %v", pos, err)
+	}
+	if !pos.Writable {
+		t.Fatalf("position file not marked writable after promote: %+v", pos)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFollowerResyncRequired: a follower whose position predates the
+// leader's snapshot floor parks with ErrResyncRequired instead of
+// silently skipping history.
+func TestFollowerResyncRequired(t *testing.T) {
+	ldb := openDB(t, t.TempDir())
+	defer ldb.Close()
+	if _, err := ldb.InsertBatch([]dict.StringTriple{tr("a", "p", "o")}, true); err != nil {
+		t.Fatal(err)
+	}
+	_, addr, _ := startLeader(t, ldb)
+
+	fdir := t.TempDir()
+	f, err := OpenFollower(FollowerOptions{
+		Dir: fdir, Leader: addr,
+		Open: persist.Options{MemtableThreshold: 8, MaxRings: 2, NoBackground: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	waitFor(t, "initial catch-up", func() bool { return f.DB().Len() == 1 })
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// While the follower is away, the leader advances and checkpoints:
+	// the records the follower needs are folded and GC'd.
+	for i := 0; i < 10; i++ {
+		if _, err := ldb.InsertBatch([]dict.StringTriple{tr(fmt.Sprintf("b%d", i), "p", "o")}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ldb.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err = OpenFollower(FollowerOptions{
+		Dir: fdir, Leader: addr,
+		Open: persist.Options{MemtableThreshold: 8, MaxRings: 2, NoBackground: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Start()
+	waitFor(t, "parked follower", func() bool {
+		return strings.Contains(f.Info().LastErr, "re-bootstrap")
+	})
+}
+
+// TestFollowerReconnectBackoff: losing the leader flips Connected false;
+// the follower keeps retrying and reports the error.
+func TestFollowerReconnect(t *testing.T) {
+	ldb := openDB(t, t.TempDir())
+	defer ldb.Close()
+	if _, err := ldb.InsertBatch([]dict.StringTriple{tr("a", "p", "o")}, true); err != nil {
+		t.Fatal(err)
+	}
+	_, addr, srv := startLeader(t, ldb)
+
+	f, err := OpenFollower(FollowerOptions{
+		Dir: t.TempDir(), Leader: addr,
+		ReconnectMin: 10 * time.Millisecond, ReconnectMax: 50 * time.Millisecond,
+		Open: persist.Options{MemtableThreshold: 8, MaxRings: 2, NoBackground: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Start()
+	waitFor(t, "connect", func() bool { return f.Info().Connected })
+
+	srv.CloseClientConnections()
+	srv.Close()
+	waitFor(t, "disconnect noticed", func() bool {
+		i := f.Info()
+		return !i.Connected && i.LastErr != ""
+	})
+
+	// Promote while disconnected (the dead-leader path): all known
+	// batches are applied, so this succeeds.
+	if err := f.Promote(context.Background()); err != nil {
+		t.Fatalf("Promote after leader death: %v", err)
+	}
+}
+
+// TestFrameRoundTrip: framing survives a round trip and rejects
+// corruption with typed errors.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xab}, 1000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range payloads {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %q want %q", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r); !errors.Is(err, io.EOF) {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+
+	// Bit flip in the payload: checksum mismatch.
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(data)-1] ^= 0x01
+	r = bytes.NewReader(data)
+	var ferr error
+	for ferr == nil {
+		_, ferr = ReadFrame(r)
+	}
+	if !errors.Is(ferr, ErrBadFrame) {
+		t.Fatalf("flipped stream = %v, want ErrBadFrame", ferr)
+	}
+
+	// Truncation inside a frame: unexpected EOF, not EOF.
+	r = bytes.NewReader(buf.Bytes()[:buf.Len()-3])
+	ferr = nil
+	for ferr == nil {
+		_, ferr = ReadFrame(r)
+	}
+	if !errors.Is(ferr, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated stream = %v, want io.ErrUnexpectedEOF", ferr)
+	}
+
+	// Hostile length: bounded, typed.
+	r = bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	if _, err := ReadFrame(r); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized frame = %v, want ErrBadFrame", err)
+	}
+
+	// Heartbeats are distinguishable from records by size.
+	if _, ok := heartbeat(encodeHeartbeat(42)); !ok {
+		t.Fatal("heartbeat not recognised")
+	}
+	if seq, _ := heartbeat(encodeHeartbeat(42)); seq != 42 {
+		t.Fatalf("heartbeat seq = %d, want 42", seq)
+	}
+	if _, ok := heartbeat(make([]byte, 12)); ok {
+		t.Fatal("12-byte payload misread as heartbeat")
+	}
+}

@@ -153,8 +153,12 @@ type MutationResponse struct {
 	// Generation is the store epoch after this batch; it only moves
 	// forward, so clients can use it to read-their-writes against
 	// replicas or caches.
-	Generation uint64  `json:"generation"`
-	ElapsedMS  float64 `json:"elapsed_ms"`
+	Generation uint64 `json:"generation"`
+	// Seq is the batch's committed WAL sequence. Replication preserves
+	// it, so passing it back as X-Ring-Min-Seq on a query makes any
+	// replica wait until this write is visible there (read-your-writes).
+	Seq       uint64  `json:"seq"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // maxMutationBytes bounds a mutation body; larger ingests should be
@@ -200,6 +204,11 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request, op strin
 		jsonError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	// A non-promoted replica takes no writes: point the client at the
+	// leader instead of forking history.
+	if s.redirectMutation(w, r, outcome) {
+		return
+	}
 
 	var req MutationRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxMutationBytes))
@@ -221,13 +230,11 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request, op strin
 		ts[i] = wcoring.StringTriple{S: t.S, P: t.P, O: t.O}
 	}
 	start := time.Now()
-	var applied int
-	var err error
-	if op == "insert" {
-		applied, err = db.InsertBatch(ts, sync)
-	} else {
-		applied, err = db.DeleteBatch(ts, sync)
+	kind := persist.OpInsert
+	if op == "delete" {
+		kind = persist.OpDelete
 	}
+	applied, seq, err := db.Mutate(kind, ts, sync)
 	s.met.mutationDur.observe(time.Since(start))
 	if err != nil {
 		if errors.Is(err, persist.ErrTooLarge) {
@@ -245,11 +252,13 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request, op strin
 	if !sync {
 		code = http.StatusAccepted // queued: applied, fsync pending
 	}
+	w.Header().Set("X-Ring-Seq", strconv.FormatUint(seq, 10))
 	writeJSON(w, code, &MutationResponse{
 		Applied:    applied,
 		Count:      len(req.Triples),
 		Synced:     sync,
 		Generation: db.Generation(),
+		Seq:        seq,
 		ElapsedMS:  msSince(start),
 	})
 }

@@ -190,9 +190,14 @@ type serveBenchResult struct {
 	Procs   int  `json:"gomaxprocs"`
 	Clients int  `json:"clients"`
 	Cache   bool `json:"cache"`
-	// Mix is "base" (8 anchored join cores) or "shared" (2-core hot set
-	// exercising shared-scan grouping under concurrency).
-	Mix      string  `json:"mix"`
+	// Mix is "base" (8 anchored join cores), "shared" (2-core hot set
+	// exercising shared-scan grouping under concurrency), or
+	// "repl-fanout-Nnode" (the base mix round-robined over a replicated
+	// deployment; see BenchmarkReplFanout).
+	Mix string `json:"mix"`
+	// Nodes is the serving-node count for the repl-fanout rows (0 for the
+	// single-process sweeps).
+	Nodes    int     `json:"nodes,omitempty"`
 	Requests int     `json:"requests"`
 	QPS      float64 `json:"qps"`
 	P50MS    float64 `json:"p50_ms"`

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/persist"
+	"repro/internal/repl"
+)
+
+// BenchmarkReplFanout measures read fan-out across a replicated
+// deployment: the same cache-disabled query mix as BenchmarkServe,
+// round-robined over 1 node (the leader alone) vs 3 nodes (leader + two
+// followers at lag 0), all in-process. On a single shared CPU the
+// aggregate cannot exceed one node's throughput — the row documents that
+// followers serve reads at parity, not a hardware speedup; on real
+// separate machines fan-out multiplies capacity by node count.
+func BenchmarkReplFanout(b *testing.B) {
+	for _, nodes := range []int{1, 3} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(4)
+			defer runtime.GOMAXPROCS(prev)
+			benchReplFanout(b, nodes)
+		})
+	}
+}
+
+// heavyLiveTriples is the heavyStore graph in live-insert form.
+func heavyLiveTriples() []dict.StringTriple {
+	rng := rand.New(rand.NewSource(7))
+	seen := map[dict.StringTriple]bool{}
+	triples := make([]dict.StringTriple, 0, 20000)
+	for len(triples) < 20000 {
+		tr := dict.StringTriple{
+			S: fmt.Sprintf("n%03d", rng.Intn(200)),
+			P: fmt.Sprintf("p%d", rng.Intn(4)),
+			O: fmt.Sprintf("n%03d", rng.Intn(200)),
+		}
+		if !seen[tr] {
+			seen[tr] = true
+			triples = append(triples, tr)
+		}
+	}
+	return triples
+}
+
+func benchReplFanout(b *testing.B, nodes int) {
+	// One big memtable: the whole graph loads as a single WAL batch and
+	// replicates as one record, so setup stays cheap across b.N runs.
+	openOpts := persist.Options{MemtableThreshold: 40000, NoBackground: true}
+	leaderDB, err := persist.Open(b.TempDir(), openOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer leaderDB.Close()
+	if _, err := leaderDB.InsertBatch(heavyLiveTriples(), true); err != nil {
+		b.Fatal(err)
+	}
+
+	newNode := func(db *persist.DB, f *repl.Follower) *httptest.Server {
+		cfg := Config{
+			AccessLog:     io.Discard,
+			MaxConcurrent: 8,
+			MaxQueue:      32,
+			QueueWait:     10 * time.Second,
+			CacheEntries:  -1,
+		}
+		srv, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.SetLive(db); err != nil {
+			b.Fatal(err)
+		}
+		if f != nil {
+			srv.SetFollower(f)
+		}
+		return httptest.NewServer(srv.Handler())
+	}
+
+	bases := []*httptest.Server{newNode(leaderDB, nil)}
+	defer func() {
+		for _, ts := range bases {
+			ts.Close()
+		}
+	}()
+
+	if nodes > 1 {
+		leader := repl.NewLeader(leaderDB, repl.LeaderOptions{Advertise: "leader.bench:0"})
+		replSrv := httptest.NewServer(leader.Handler())
+		defer replSrv.Close()
+		replAddr := strings.TrimPrefix(replSrv.URL, "http://")
+		for i := 1; i < nodes; i++ {
+			f, err := repl.OpenFollower(repl.FollowerOptions{
+				Dir:    b.TempDir(),
+				Leader: replAddr,
+				Open:   openOpts,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			f.Start()
+			deadline := time.Now().Add(30 * time.Second)
+			for f.Info().AppliedSeq < leaderDB.DurableSeq() {
+				if time.Now().After(deadline) {
+					b.Fatalf("follower %d never caught up: %+v", i, f.Info())
+				}
+				time.Sleep(time.Millisecond)
+			}
+			bases = append(bases, newNode(f.DB(), f))
+		}
+	}
+
+	mix := benchMix()
+	bodies := make([][]byte, len(mix))
+	for i, req := range mix {
+		if bodies[i], err = json.Marshal(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const clients = 8
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	do := func(i int) time.Duration {
+		start := time.Now()
+		base := bases[i%len(bases)].URL
+		resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			b.Error(err)
+			return 0
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Errorf("status %d", resp.StatusCode)
+		}
+		return time.Since(start)
+	}
+	for i := 0; i < len(mix)*len(bases); i++ {
+		do(i) // warm connections on every node
+	}
+
+	latencies := make([][]time.Duration, clients)
+	var next atomic.Int64
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				latencies[c] = append(latencies[c], do(i))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p50 := quantile(all, 0.50)
+	p99 := quantile(all, 0.99)
+	qps := float64(b.N) / elapsed.Seconds()
+	b.ReportMetric(qps, "qps")
+	b.ReportMetric(float64(p50)/1e6, "p50-ms")
+	b.ReportMetric(float64(p99)/1e6, "p99-ms")
+
+	recordServeBench(serveBenchResult{
+		Procs:    4,
+		Clients:  clients,
+		Cache:    false,
+		Mix:      fmt.Sprintf("repl-fanout-%dnode", nodes),
+		Nodes:    nodes,
+		Requests: b.N,
+		QPS:      round3(qps),
+		P50MS:    round3(float64(p50) / 1e6),
+		P99MS:    round3(float64(p99) / 1e6),
+	})
+}

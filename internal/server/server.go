@@ -43,6 +43,7 @@ import (
 	"repro/internal/ltj"
 	"repro/internal/persist"
 	"repro/internal/query"
+	"repro/internal/repl"
 	"repro/internal/ring"
 )
 
@@ -85,6 +86,10 @@ type Config struct {
 	// concurrently-arriving cache-miss queries with the same canonical
 	// pattern into one engine pass (see sharedscan.go).
 	DisableSharedScan bool
+	// MaxReplicaLag bounds how far behind a follower may fall before
+	// /readyz reports 503 and load balancers route reads elsewhere
+	// (default 30s). Only meaningful when SetFollower installs a replica.
+	MaxReplicaLag time.Duration
 }
 
 func (cfg *Config) fillDefaults() {
@@ -118,6 +123,9 @@ func (cfg *Config) fillDefaults() {
 	if cfg.AccessLog == nil {
 		cfg.AccessLog = os.Stderr
 	}
+	if cfg.MaxReplicaLag <= 0 {
+		cfg.MaxReplicaLag = 30 * time.Second
+	}
 }
 
 // Server is the HTTP serving layer. Construct with New, expose Handler()
@@ -138,6 +146,7 @@ type Server struct {
 	liveWanted atomic.Bool                // live mode intended; recovery may still be running
 	indexStats atomic.Pointer[ring.Stats]
 	loadInfo   atomic.Pointer[LoadInfo]
+	repl       atomic.Pointer[replRefs] // optional replication roles
 	ready      atomic.Bool
 	draining   atomic.Bool
 }
@@ -190,6 +199,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/cache/invalidate", s.accessLog("cache_invalidate", s.handleInvalidate))
 	s.mux.HandleFunc("/insert", s.accessLog("insert", s.handleInsert))
 	s.mux.HandleFunc("/delete", s.accessLog("delete", s.handleDelete))
+	s.mux.HandleFunc("/repl/promote", s.accessLog("promote", s.handlePromote))
 
 	if cfg.Store != nil {
 		if err := s.SetStore(cfg.Store); err != nil {
@@ -259,6 +269,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "loading\n")
 	default:
+		if reason := s.replicaNotReady(); reason != "" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, reason+"\n")
+			return
+		}
 		io.WriteString(w, "ready\n")
 	}
 }
@@ -288,6 +303,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writePersistProm(w, st)
 	}
 	s.writeLoadProm(w, pst)
+	writeReplProm(w, s.repl.Load())
 }
 
 // writeLoadProm renders the index-load series: load mode and startup
@@ -345,6 +361,38 @@ type statsResponse struct {
 	// Mapped is present once load info is recorded: how the index got
 	// into memory and the current file-mapped footprint.
 	Mapped *mappedStatsJSON `json:"mapped,omitempty"`
+	// Repl is present on replication-enabled nodes: follower position and
+	// lag, or stream counts on a leader.
+	Repl *replStatsJSON `json:"repl,omitempty"`
+}
+
+// replStatsJSON is the "repl" section of GET /stats.
+type replStatsJSON struct {
+	// Follower is present when this node tails (or was promoted from
+	// tailing) a leader.
+	Follower *repl.Info `json:"follower,omitempty"`
+	// Streams is the leader-side count of attached followers.
+	Streams *int64 `json:"streams,omitempty"`
+}
+
+func (s *Server) replStats() *replStatsJSON {
+	refs := s.repl.Load()
+	if refs == nil {
+		return nil
+	}
+	out := &replStatsJSON{}
+	if refs.leader != nil {
+		n := refs.leader.Streams()
+		out.Streams = &n
+	}
+	if refs.follower != nil {
+		info := refs.follower.Info()
+		out.Follower = &info
+	}
+	if out.Streams == nil && out.Follower == nil {
+		return nil
+	}
+	return out
 }
 
 // mappedStatsJSON is the "mapped" section of GET /stats.
@@ -392,6 +440,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.IndexBytes = db.Snapshot().SizeBytes()
 		pst := db.Stats()
 		resp.Mapped = s.mappedStats(&pst)
+		resp.Repl = s.replStats()
 		if s.cache != nil {
 			resp.Cache = s.cache.stats()
 		}
@@ -447,6 +496,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.met.shed.get(`reason="not_ready"`).inc()
 		w.Header().Set("Retry-After", "1")
 		jsonError(w, http.StatusServiceUnavailable, "index loading")
+		return
+	}
+
+	// Sequence-consistent reads: X-Ring-Min-Seq holds the query until the
+	// local store has applied the client's last write (bounded wait).
+	if !s.waitMinSeq(w, r) {
 		return
 	}
 

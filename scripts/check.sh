@@ -5,10 +5,12 @@
 # compile-and-smoke pass over every benchmark (one iteration each), the
 # end-to-end ringserve smoke (query, overload shedding, SIGTERM drain),
 # the live-update persistence smoke (insert, SIGKILL, WAL recovery,
-# checkpointed drain), and the zero-copy mmap smoke (layout inspection,
+# checkpointed drain), the zero-copy mmap smoke (layout inspection,
 # decode-vs-mmap differential serving, live mode with view-loaded
-# checkpoints). Equivalent to `make check`; kept as a script for
-# environments without make.
+# checkpoints), and the replication smoke (leader + follower, lag to
+# zero, read-your-writes via X-Ring-Min-Seq, leader kill + promote).
+# Equivalent to `make check`; kept as a script for environments
+# without make.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -62,5 +64,8 @@ sh scripts/persist_smoke.sh
 
 echo "== mmap smoke (zero-copy load: layout, decode-vs-mmap differential, live views)"
 sh scripts/mmap_smoke.sh
+
+echo "== repl smoke (replication: bootstrap, lag to zero, read-your-writes, promote)"
+sh scripts/repl_smoke.sh
 
 echo "all checks passed"
